@@ -1,0 +1,83 @@
+// Interdependence: the paper's future-work question (§VII) made concrete.
+// OIPA assumes the campaign's pieces spread independently. What happens to
+// an OIPA-optimized plan if, in reality, the pieces interact — seeing part
+// of the campaign makes a user more (complementary) or less (competitive)
+// receptive to the rest?
+//
+// We optimize a plan under the independence assumption, then stress-test
+// it with the interdependent cascade of internal/interdep across a sweep
+// of association factors γ, comparing against the TIM baseline's plan.
+//
+// Run with: go run ./examples/interdependence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oipa/internal/core"
+	"oipa/internal/gen"
+	"oipa/internal/interdep"
+	"oipa/internal/logistic"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+func main() {
+	// The tweet-style network has chainier cascades (higher per-edge
+	// probabilities), so piece interactions actually bite.
+	dataset, err := gen.TweetSim(0.002, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign := topic.UniformCampaign("campaign", 3, dataset.Z(), xrand.New(5))
+	pool, err := gen.PromoterPool(dataset.G, 0.10, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem := &core.Problem{
+		G:        dataset.G,
+		Campaign: campaign,
+		Pool:     pool,
+		K:        40,
+		Model:    logistic.Model{Alpha: 2, Beta: 1},
+	}
+	inst, err := core.Prepare(problem, 100_000, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oipa, err := core.SolveBABP(inst, core.DefaultBABPOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tim, err := core.SolveTIM(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gammas := []float64{-0.5, -0.25, 0, 0.25, 0.5}
+	const runs = 20_000
+	oipaRows, err := interdep.StressPlan(dataset.G, inst.PieceProbs, oipa.Plan.Seeds, problem.Model, gammas, runs, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timRows, err := interdep.StressPlan(dataset.G, inst.PieceProbs, tim.Plan.Seeds, problem.Model, gammas, runs, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("gamma     OIPA plan   TIM plan   OIPA advantage")
+	for i := range gammas {
+		adv := 0.0
+		if timRows[i].Utility > 0 {
+			adv = (oipaRows[i].Utility/timRows[i].Utility - 1) * 100
+		}
+		fmt.Printf("%+5.2f %11.1f %10.1f %+13.0f%%\n",
+			gammas[i], oipaRows[i].Utility, timRows[i].Utility, adv)
+	}
+	fmt.Println("\ngamma < 0: competitive pieces (campaign fatigue); gamma > 0:")
+	fmt.Println("complementary. The OIPA plan, optimized assuming independence,")
+	fmt.Println("keeps its lead across the sweep — the diversification that wins")
+	fmt.Println("under independence is also what interdependence rewards.")
+}

@@ -1,0 +1,339 @@
+package cascade
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+// paperExample builds the 5-node running example of the paper (Fig. 1).
+// Nodes: a=0, b=1, c=2, d=3, e=4.
+func paperExample(t testing.TB) (*graph.Graph, [][]float64) {
+	t.Helper()
+	b := graph.NewBuilder(5, 2)
+	type e struct{ u, v, z int32 }
+	for _, ed := range []e{
+		{0, 1, 0}, {1, 2, 0}, {2, 3, 0},
+		{4, 3, 1}, {3, 2, 1}, {2, 1, 1},
+	} {
+		if err := b.AddEdge(ed.u, ed.v, topic.SingleTopic(ed.z)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := [][]float64{
+		g.PieceProbs(topic.SingleTopic(0)),
+		g.PieceProbs(topic.SingleTopic(1)),
+	}
+	return g, probs
+}
+
+var paperModel = logistic.Model{Alpha: 3, Beta: 1}
+
+func TestRunDeterministicReach(t *testing.T) {
+	g, probs := paperExample(t)
+	sim, err := NewSimulator(g, probs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	var out []int32
+	n := sim.Run([]int32{0}, rng, &out)
+	// Piece t1 from a reaches a, b, c, d but not e (paper Example 1).
+	if n != 4 || len(out) != 4 {
+		t.Fatalf("spread of t1 from {a} = %d, want 4", n)
+	}
+	reached := map[int32]bool{}
+	for _, v := range out {
+		reached[v] = true
+	}
+	for _, v := range []int32{0, 1, 2, 3} {
+		if !reached[v] {
+			t.Fatalf("node %d not reached", v)
+		}
+	}
+	if reached[4] {
+		t.Fatal("node e reached by t1")
+	}
+}
+
+func TestRunDedupesSeeds(t *testing.T) {
+	g, probs := paperExample(t)
+	sim, _ := NewSimulator(g, probs[0])
+	n := sim.Run([]int32{0, 0, 0}, xrand.New(1), nil)
+	if n != 4 {
+		t.Fatalf("duplicate seeds inflated spread: %d", n)
+	}
+}
+
+func TestNewSimulatorValidates(t *testing.T) {
+	g, _ := paperExample(t)
+	if _, err := NewSimulator(g, make([]float64, 2)); err == nil {
+		t.Fatal("wrong probability count accepted")
+	}
+}
+
+func TestEstimateSpreadDeterministicGraph(t *testing.T) {
+	g, probs := paperExample(t)
+	got, err := EstimateSpread(g, probs[1], []int32{4}, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t2 from e deterministically reaches e, d, c, b.
+	if got != 4 {
+		t.Fatalf("EstimateSpread = %v, want exactly 4", got)
+	}
+}
+
+func TestEstimateSpreadBernoulliEdge(t *testing.T) {
+	// Two nodes, one edge with p = 0.3: expected spread from {0} is 1.3.
+	b := graph.NewBuilder(2, 1)
+	if err := b.AddEdge(0, 1, topic.Vector{Idx: []int32{0}, Val: []float64{0.3}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := g.PieceProbs(topic.SingleTopic(0))
+	got, err := EstimateSpread(g, probs, []int32{0}, 200000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.3) > 0.01 {
+		t.Fatalf("EstimateSpread = %v, want about 1.3", got)
+	}
+}
+
+func TestEstimateSpreadDeterministicAcrossParallelism(t *testing.T) {
+	g, probs := paperExample(t)
+	// Same seed must give bit-identical results regardless of GOMAXPROCS,
+	// because RNG streams derive from the run index.
+	old := runtime.GOMAXPROCS(1)
+	serial, err := EstimateSpread(g, probs[0], []int32{0, 4}, 1000, 99)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := EstimateSpread(g, probs[0], []int32{0, 4}, 1000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("parallel (%v) != serial (%v)", parallel, serial)
+	}
+}
+
+func TestEstimateSpreadErrors(t *testing.T) {
+	g, probs := paperExample(t)
+	if _, err := EstimateSpread(g, probs[0], []int32{0}, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestExactAdoptionPaperExample1(t *testing.T) {
+	// Paper Example 1: plan {{a}, {e}} has σ = 0.12 + 0.27·3 + 0.12 ≈ 1.05.
+	g, probs := paperExample(t)
+	plan := [][]int32{{0}, {4}}
+	got, err := ExactAdoptionDeterministic(g, probs, plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*paperModel.Adoption(1) + 3*paperModel.Adoption(2) // 1.04523...
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("σ({{a},{e}}) = %v, want %v", got, want)
+	}
+	if math.Abs(got-1.05) > 0.01 {
+		t.Fatalf("σ = %v, paper reports 1.05", got)
+	}
+}
+
+func TestExactAdoptionPaperExample2(t *testing.T) {
+	// Paper Example 2 (non-submodularity): σ({{a},∅}) = σ({∅,{e}}) = 0.48.
+	g, probs := paperExample(t)
+	s1, err := ExactAdoptionDeterministic(g, probs, [][]int32{{0}, nil}, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ExactAdoptionDeterministic(g, probs, [][]int32{nil, {4}}, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * paperModel.Adoption(1) // 0.4768...
+	if math.Abs(s1-want) > 1e-12 || math.Abs(s2-want) > 1e-12 {
+		t.Fatalf("single-piece utilities %v, %v, want %v", s1, s2, want)
+	}
+	// The non-submodularity gap from the paper: δ_{S̄y}(S̄) = 1.05−0.48 =
+	// 0.57 > δ_{S̄x}(S̄) = 0.48.
+	both, err := ExactAdoptionDeterministic(g, probs, [][]int32{{0}, {4}}, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gainAfter := both - s1; gainAfter <= s2 {
+		t.Fatalf("non-submodularity gap missing: %v <= %v", gainAfter, s2)
+	}
+}
+
+func TestExactAdoptionRejectsFractionalProbs(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	if err := b.AddEdge(0, 1, topic.Vector{Idx: []int32{0}, Val: []float64{0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := b.Build()
+	probs := [][]float64{g.PieceProbs(topic.SingleTopic(0))}
+	if _, err := ExactAdoptionDeterministic(g, probs, [][]int32{{0}}, paperModel); err == nil {
+		t.Fatal("fractional probabilities accepted")
+	}
+}
+
+func TestEstimateAdoptionMatchesExactOnDeterministicGraph(t *testing.T) {
+	g, probs := paperExample(t)
+	plan := [][]int32{{0}, {4}}
+	exact, err := ExactAdoptionDeterministic(g, probs, plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateAdoption(g, probs, plan, paperModel, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 1e-12 {
+		t.Fatalf("MC estimate %v != exact %v on deterministic graph", est, exact)
+	}
+}
+
+func TestEstimateAdoptionEmptyPlanIsZero(t *testing.T) {
+	g, probs := paperExample(t)
+	got, err := EstimateAdoption(g, probs, [][]int32{nil, nil}, paperModel, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty plan utility = %v, want 0 (Eq. 1 zero branch)", got)
+	}
+}
+
+func TestEstimateAdoptionMonotone(t *testing.T) {
+	// Adding a seed never decreases utility (σ is monotone, §IV-A).
+	g, probs := paperExample(t)
+	small, err := EstimateAdoption(g, probs, [][]int32{{0}, nil}, paperModel, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EstimateAdoption(g, probs, [][]int32{{0}, {4}}, paperModel, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large < small {
+		t.Fatalf("utility decreased when plan grew: %v -> %v", small, large)
+	}
+}
+
+func TestEstimateAdoptionBernoulli(t *testing.T) {
+	// Two nodes u->v with p=0.5 on topic 0 and p=0.5 on topic 1 via a
+	// second edge? Simpler: single node pair, two pieces sharing the same
+	// edge probability 0.5. Seeding both pieces at u:
+	//   u receives both pieces surely: adoption(2).
+	//   v receives piece j with prob 0.5 independently:
+	//   E[adoption(v)] = 0.25·adopt(2) + 0.5·adopt(1) + 0.25·0.
+	b := graph.NewBuilder(2, 2)
+	err := b.AddEdge(0, 1, topic.Vector{Idx: []int32{0, 1}, Val: []float64{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := [][]float64{
+		g.PieceProbs(topic.SingleTopic(0)),
+		g.PieceProbs(topic.SingleTopic(1)),
+	}
+	m := logistic.Model{Alpha: 2, Beta: 1}
+	want := m.Adoption(2) + 0.25*m.Adoption(2) + 0.5*m.Adoption(1)
+	got, err := EstimateAdoption(g, probs, [][]int32{{0}, {0}}, m, 400000, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("EstimateAdoption = %v, want about %v", got, want)
+	}
+}
+
+func TestEstimateAdoptionValidates(t *testing.T) {
+	g, probs := paperExample(t)
+	if _, err := EstimateAdoption(g, probs, [][]int32{{0}}, paperModel, 10, 1); err == nil {
+		t.Fatal("plan/piece count mismatch accepted")
+	}
+	if _, err := EstimateAdoption(g, probs, [][]int32{{0}, {4}}, paperModel, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if _, err := EstimateAdoption(g, probs, [][]int32{{0}, {4}}, logistic.Model{}, 10, 1); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestEstimateAdoptionDeterministicAcrossParallelism(t *testing.T) {
+	g, probs := paperExample(t)
+	plan := [][]int32{{0}, {4}}
+	old := runtime.GOMAXPROCS(1)
+	serial, err := EstimateAdoption(g, probs, plan, paperModel, 200, 5)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := EstimateAdoption(g, probs, plan, paperModel, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial-parallel) > 1e-9 {
+		t.Fatalf("parallel (%v) != serial (%v)", parallel, serial)
+	}
+}
+
+func BenchmarkRunCascade(b *testing.B) {
+	g, probs := benchGraph(b)
+	sim, err := NewSimulator(g, probs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	seeds := []int32{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(seeds, rng, nil)
+	}
+}
+
+func benchGraph(b *testing.B) (*graph.Graph, []float64) {
+	b.Helper()
+	r := xrand.New(3)
+	const n = 5000
+	bld := graph.NewBuilder(n, 4)
+	seen := map[[2]int32]bool{}
+	for bld.M() < 20000 {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v || seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		dense := make([]float64, 4)
+		dense[r.Intn(4)] = 0.1
+		if err := bld.AddEdge(u, v, topic.FromDense(dense)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, g.PieceProbs(topic.SingleTopic(0))
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oipa/internal/im"
+	"oipa/internal/rrset"
+	"oipa/internal/topic"
+)
+
+// SolveIM is the paper's IM baseline (§VI-A): run a state-of-the-art IM
+// seed selection on the *topic-agnostic* graph under the IC model to get
+// one seed set S of size k, then assign S to whichever single viral piece
+// yields the largest adoption utility. It ignores both the topic
+// heterogeneity of pieces and the multifaceted adoption model, which is
+// exactly why the paper expects it to lose.
+//
+// The topic-agnostic influence graph uses the uniform topic mixture
+// t_unif = (1/|Z|, .., 1/|Z|), i.e. edge probability mean_z p(e|z) — the
+// expected probability for a message with no topic information.
+func SolveIM(inst *Instance, seed uint64) (*Result, error) {
+	start := time.Now()
+	g := inst.Problem.G
+	z := g.Z()
+	uniform := make([]float64, z)
+	for i := range uniform {
+		uniform[i] = 1 / float64(z)
+	}
+	probs := g.PieceProbs(topic.FromDense(uniform))
+	col, err := rrset.NewCollection(g, probs, seed)
+	if err != nil {
+		return nil, err
+	}
+	col.ExtendTo(inst.MRR.Theta())
+	cover, err := im.GreedyCover(col, inst.Problem.Pool, inst.Problem.K)
+	if err != nil {
+		return nil, err
+	}
+	plan, util, err := bestSinglePiecePlan(inst, cover.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Method:  "IM",
+		Plan:    plan,
+		Utility: util,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// SolveTIM is the paper's TIM baseline (§VI-A): for every piece t_j, run
+// the IM seed selection on the piece's own influence graph G_{t_j} to get
+// a k-seed set S_j, then keep the single (piece, seed set) pair with the
+// largest adoption utility. Topic-aware but still single-piece: users who
+// receive only one piece adopt with low probability, which is the paper's
+// argument for multifaceted optimization.
+//
+// The per-piece RR sets are the MRR collection's own slices — the same
+// "θ RR sets for each viral piece" the paper grants every method.
+func SolveTIM(inst *Instance) (*Result, error) {
+	start := time.Now()
+	l := inst.L()
+	best := Plan{}
+	bestUtil := -1.0
+	for j := 0; j < l; j++ {
+		seeds, err := greedyCoverPiece(inst, j, inst.Problem.K)
+		if err != nil {
+			return nil, err
+		}
+		plan := NewPlan(l)
+		plan.Seeds[j] = seeds
+		util, err := inst.EstimateAU(plan)
+		if err != nil {
+			return nil, err
+		}
+		if util > bestUtil {
+			bestUtil = util
+			best = plan
+		}
+	}
+	return &Result{
+		Method:  "TIM",
+		Plan:    best,
+		Utility: bestUtil,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// bestSinglePiecePlan assigns seeds to each piece in turn and returns the
+// single-piece plan with the highest estimated utility.
+func bestSinglePiecePlan(inst *Instance, seeds []int32) (Plan, float64, error) {
+	l := inst.L()
+	if len(seeds) == 0 {
+		return NewPlan(l), 0, nil
+	}
+	best := Plan{}
+	bestUtil := -1.0
+	for j := 0; j < l; j++ {
+		plan := NewPlan(l)
+		plan.Seeds[j] = seeds
+		util, err := inst.EstimateAU(plan)
+		if err != nil {
+			return Plan{}, 0, err
+		}
+		if util > bestUtil {
+			bestUtil = util
+			best = plan
+		}
+	}
+	return best, bestUtil, nil
+}
+
+// greedyCoverPiece runs greedy maximum coverage for one piece over the
+// instance's pool, using the MRR index's inverted lists directly.
+func greedyCoverPiece(inst *Instance, j, k int) ([]int32, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %d", k)
+	}
+	ix := inst.Index
+	pp := ix.PoolSize()
+	theta := inst.MRR.Theta()
+	deg := make([]int64, pp)
+	for p := 0; p < pp; p++ {
+		deg[p] = int64(ix.Degree(j, int32(p)))
+	}
+	covered := make([]bool, theta)
+	taken := make([]bool, pp)
+	var seeds []int32
+	// Decremental greedy needs the reverse direction (sample -> pool
+	// members); recover it from the RR sets filtered through PoolPos.
+	for len(seeds) < k {
+		best, bestDeg := -1, int64(0)
+		for p := 0; p < pp; p++ {
+			if !taken[p] && deg[p] > bestDeg {
+				best, bestDeg = p, deg[p]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		seeds = append(seeds, ix.Pool()[best])
+		for _, i := range ix.Samples(j, int32(best)) {
+			if covered[i] {
+				continue
+			}
+			covered[i] = true
+			for _, v := range inst.MRR.Set(int(i), j) {
+				if p, ok := ix.PoolPos(v); ok {
+					deg[p]--
+				}
+			}
+		}
+	}
+	return seeds, nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// A candidate is an (assignment) pair of a campaign piece and a promoter,
+// encoded as cand = j·poolSize + poolPos. Candidates — not promoters — are
+// the unit of branching and of greedy selection, because the same promoter
+// may be assigned to several pieces (each assignment consumes one unit of
+// the budget k).
+type candidate = int32
+
+// evaluator holds the scratch state for upper-bound computations
+// (Algorithms 2 and 3). One evaluator serves many evaluations; prepare
+// resets it in time proportional to the previous evaluation's touched
+// samples rather than θ.
+type evaluator struct {
+	inst     *Instance
+	l        int
+	pp       int // pool size
+	numCands int
+	theta    int
+
+	// Per-sample coverage state for the plan under evaluation:
+	// masks[i] has bit j set when piece j of sample i is covered,
+	// cnts[i] = popcount(masks[i]), refs[i] = count covered by the
+	// *partial* plan only (the tangent refinement level of Fig. 2).
+	masks []uint32
+	cnts  []uint8
+	refs  []uint8
+	dirty []int32 // samples with non-zero state, for O(touched) reset
+
+	// Tangent bound tables flattened from logistic.BoundTable:
+	// value[cA][c] and marg[cA][c] for 0 <= cA <= c <= l.
+	value [][]float64
+	marg  [][]float64
+
+	// Candidate state for the current evaluation.
+	takenEpoch []uint32
+	exclEpoch  []uint32
+	epoch      uint32
+
+	// Scratch for the progressive estimator.
+	gains []float64
+	order []candidate
+
+	// tauSum is Σ_i τ_i in per-sample units; multiply by n/θ for the
+	// utility scale.
+	tauSum float64
+
+	tauEvals int64 // running count of candidate marginal evaluations
+}
+
+func newEvaluator(inst *Instance) *evaluator {
+	l := inst.L()
+	pp := inst.Index.PoolSize()
+	theta := inst.MRR.Theta()
+	ev := &evaluator{
+		inst:       inst,
+		l:          l,
+		pp:         pp,
+		numCands:   l * pp,
+		theta:      theta,
+		masks:      make([]uint32, theta),
+		cnts:       make([]uint8, theta),
+		refs:       make([]uint8, theta),
+		takenEpoch: make([]uint32, l*pp),
+		exclEpoch:  make([]uint32, l*pp),
+		epoch:      1,
+		gains:      make([]float64, l*pp),
+		order:      make([]candidate, 0, l*pp),
+	}
+	ev.value = make([][]float64, l+1)
+	ev.marg = make([][]float64, l+1)
+	for cA := 0; cA <= l; cA++ {
+		ev.value[cA] = make([]float64, l+1)
+		ev.marg[cA] = make([]float64, l+1)
+		for c := cA; c <= l; c++ {
+			ev.value[cA][c] = inst.Bounds.Value(cA, c)
+			if c < l {
+				ev.marg[cA][c] = inst.Bounds.Marginal(cA, c)
+			}
+		}
+	}
+	return ev
+}
+
+func (ev *evaluator) pieceOf(c candidate) int   { return int(c) / ev.pp }
+func (ev *evaluator) poolPosOf(c candidate) int { return int(c) % ev.pp }
+
+// node promoter/piece accessors used when materializing plans.
+func (ev *evaluator) candOf(j int, poolPos int32) candidate {
+	return candidate(j*ev.pp + int(poolPos))
+}
+
+// prepare resets the evaluator and loads a partial plan (as a chain of
+// included candidates) and an exclusion chain. It refines the tangent
+// anchors: refs[i] becomes the piece count the partial plan guarantees at
+// sample i (the paper's Fig. 2 refinement), and tauSum is re-based.
+func (ev *evaluator) prepare(plan *planNode, excl *exclNode) {
+	for _, i := range ev.dirty {
+		ev.masks[i] = 0
+		ev.cnts[i] = 0
+		ev.refs[i] = 0
+	}
+	ev.dirty = ev.dirty[:0]
+	ev.epoch++
+	if ev.epoch == 0 {
+		for i := range ev.takenEpoch {
+			ev.takenEpoch[i] = 0
+			ev.exclEpoch[i] = 0
+		}
+		ev.epoch = 1
+	}
+
+	for n := plan; n != nil; n = n.parent {
+		ev.takenEpoch[n.cand] = ev.epoch
+		ev.coverSamples(n.cand)
+	}
+	for n := excl; n != nil; n = n.parent {
+		ev.exclEpoch[n.cand] = ev.epoch
+	}
+	// Re-base the tangent anchors at the partial plan's coverage.
+	base0 := ev.value[0][0]
+	ev.tauSum = float64(ev.theta) * base0
+	for _, i := range ev.dirty {
+		c := ev.cnts[i]
+		ev.refs[i] = c
+		ev.tauSum += ev.value[c][c] - base0
+	}
+}
+
+// coverSamples marks candidate c's samples as covered for its piece and
+// returns the τ gain in per-sample units (using the *current* refinement
+// levels). Used both for plan materialization (where the gain is
+// discarded and re-based afterwards) and for greedy additions.
+func (ev *evaluator) coverSamples(c candidate) float64 {
+	j := ev.pieceOf(c)
+	bit := uint32(1) << uint(j)
+	gain := 0.0
+	for _, i := range ev.inst.Index.Samples(j, int32(ev.poolPosOf(c))) {
+		if ev.masks[i]&bit != 0 {
+			continue
+		}
+		if ev.masks[i] == 0 {
+			ev.dirty = append(ev.dirty, i)
+		}
+		ev.masks[i] |= bit
+		gain += ev.marg[ev.refs[i]][ev.cnts[i]]
+		ev.cnts[i]++
+	}
+	ev.tauSum += gain
+	return gain
+}
+
+// gainOf computes δ_S̄(c): the τ gain of adding candidate c to the current
+// state, without modifying the state.
+func (ev *evaluator) gainOf(c candidate) float64 {
+	j := ev.pieceOf(c)
+	bit := uint32(1) << uint(j)
+	gain := 0.0
+	for _, i := range ev.inst.Index.Samples(j, int32(ev.poolPosOf(c))) {
+		if ev.masks[i]&bit == 0 {
+			gain += ev.marg[ev.refs[i]][ev.cnts[i]]
+		}
+	}
+	ev.tauEvals++
+	return gain
+}
+
+func (ev *evaluator) taken(c candidate) bool    { return ev.takenEpoch[c] == ev.epoch }
+func (ev *evaluator) excluded(c candidate) bool { return ev.exclEpoch[c] == ev.epoch }
+func (ev *evaluator) eligible(c candidate) bool { return !ev.taken(c) && !ev.excluded(c) }
+
+// boundResult is the outcome of a bound computation: the greedy additions
+// (in selection order), the bound value τ(S̄|S̄a) in utility scale, and
+// the first greedy pick (the branch variable; -1 if nothing was added).
+type boundResult struct {
+	picks  []candidate
+	tau    float64
+	branch candidate
+}
+
+// scale converts per-sample τ units into utility units n/θ·x.
+func (ev *evaluator) scale(x float64) float64 {
+	return x * float64(ev.inst.MRR.N()) / float64(ev.theta)
+}
+
+// computeBound is Algorithm 2: plain greedy maximization of the
+// submodular tangent bound. Each iteration scans every eligible
+// candidate's marginal gain (the O(k·n) τ evaluations the progressive
+// method avoids) and takes the best; ties break toward the smaller
+// candidate id for determinism.
+func (ev *evaluator) computeBound(budget int) boundResult {
+	res := boundResult{branch: -1}
+	for len(res.picks) < budget {
+		best := candidate(-1)
+		bestGain := 0.0
+		for c := candidate(0); int(c) < ev.numCands; c++ {
+			if !ev.eligible(c) {
+				continue
+			}
+			if g := ev.gainOf(c); g > bestGain {
+				best, bestGain = c, g
+			}
+		}
+		if best < 0 {
+			break // no candidate improves the bound
+		}
+		ev.takenEpoch[best] = ev.epoch
+		ev.coverSamples(best)
+		res.picks = append(res.picks, best)
+	}
+	if len(res.picks) > 0 {
+		res.branch = res.picks[0]
+	}
+	res.tau = ev.scale(ev.tauSum)
+	return res
+}
+
+// computeBoundPro is Algorithm 3: progressive upper-bound estimation.
+// Candidates are sorted once by their individual gain δ_∅; a threshold h
+// sweeps down by factors of (1+ε), admitting any candidate whose current
+// marginal gain reaches it, with two early exits — the sorted-prefix break
+// (δ_∅(v) < h implies δ_S̄(v) < h by submodularity) and the τ-floor of
+// Algorithm 3 line 14, which may return fewer than `budget` picks.
+//
+// With fill set, a floor exit with d < budget picks is followed by a CELF
+// completion of the remaining slots: extending a plan only raises the
+// monotone τ, so the (1−1/e−ε) bound of Theorem 3 is untouched, while the
+// returned *candidate plan* — the search's lower-bound source — reaches
+// full size instead of plateauing. (Theorem 4's τ-evaluation bound is
+// what the completion spends; see BABOptions.FillAfterFloor.)
+func (ev *evaluator) computeBoundPro(budget int, eps float64, fill bool) boundResult {
+	res := boundResult{branch: -1}
+	// Individual gains δ_∅ under the refined anchors.
+	ev.order = ev.order[:0]
+	maxinf := 0.0
+	for c := candidate(0); int(c) < ev.numCands; c++ {
+		if !ev.eligible(c) {
+			continue
+		}
+		g := ev.gainOf(c)
+		ev.gains[c] = g
+		if g <= 0 {
+			continue
+		}
+		ev.order = append(ev.order, c)
+		if g > maxinf {
+			maxinf = g
+		}
+	}
+	if maxinf == 0 {
+		res.tau = ev.scale(ev.tauSum)
+		return res
+	}
+	sort.Slice(ev.order, func(a, b int) bool {
+		ca, cb := ev.order[a], ev.order[b]
+		if ev.gains[ca] != ev.gains[cb] {
+			return ev.gains[ca] > ev.gains[cb]
+		}
+		return ca < cb
+	})
+
+	const floorFactor = (1 / math.E) / (1 - 1/math.E)
+	h := maxinf
+	for len(res.picks) < budget {
+		for _, c := range ev.order {
+			if ev.gains[c] < h {
+				break // sorted prefix exhausted: δ_∅ < h ⇒ δ_S̄ < h
+			}
+			if !ev.eligible(c) {
+				continue
+			}
+			if g := ev.gainOf(c); g >= h {
+				ev.takenEpoch[c] = ev.epoch
+				ev.coverSamples(c)
+				res.picks = append(res.picks, c)
+				if len(res.picks) == budget {
+					break
+				}
+			}
+		}
+		if len(res.picks) == budget {
+			break
+		}
+		h /= 1 + eps
+		if h <= ev.tauSum/float64(budget)*floorFactor {
+			break // Algorithm 3 line 14: remaining candidates cannot matter
+		}
+	}
+	if fill && len(res.picks) < budget {
+		done := ev.computeBoundLazy(budget - len(res.picks))
+		res.picks = append(res.picks, done.picks...)
+	}
+	if len(res.picks) > 0 {
+		res.branch = res.picks[0]
+	}
+	res.tau = ev.scale(ev.tauSum)
+	return res
+}
+
+// materialize converts a plan chain plus greedy picks into a Plan over
+// graph node ids.
+func (ev *evaluator) materialize(plan *planNode, picks []candidate) Plan {
+	out := NewPlan(ev.l)
+	add := func(c candidate) {
+		j := ev.pieceOf(c)
+		v := ev.inst.Index.Pool()[ev.poolPosOf(c)]
+		out.Seeds[j] = append(out.Seeds[j], v)
+	}
+	for n := plan; n != nil; n = n.parent {
+		add(n.cand)
+	}
+	for _, c := range picks {
+		add(c)
+	}
+	return out
+}
+
+// planNode / exclNode are persistent chains recording the include /
+// exclude decisions along a branch-and-bound path; children share their
+// parents' structure, so memory stays proportional to the number of
+// expanded nodes.
+type planNode struct {
+	parent *planNode
+	cand   candidate
+	size   int
+}
+
+func (n *planNode) with(c candidate) *planNode {
+	size := 1
+	if n != nil {
+		size = n.size + 1
+	}
+	return &planNode{parent: n, cand: c, size: size}
+}
+
+func (n *planNode) len() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+type exclNode struct {
+	parent *exclNode
+	cand   candidate
+}
+
+func (n *exclNode) with(c candidate) *exclNode {
+	return &exclNode{parent: n, cand: c}
+}

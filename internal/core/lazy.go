@@ -1,0 +1,88 @@
+package core
+
+import "container/heap"
+
+// computeBoundLazy is ComputeBound (Algorithm 2) with CELF lazy
+// evaluation (Leskovec et al., KDD 2007): since the tangent bound is
+// submodular, a candidate's marginal gain can only shrink as the greedy
+// plan grows, so a stale cached gain is an upper bound. Instead of
+// rescanning every candidate per iteration, candidates sit in a max-heap
+// keyed by cached gain; the top is recomputed and either re-inserted (if
+// it fell) or selected (if it is still the maximum). Selection order — and
+// therefore the bound value — is identical to the plain greedy, with ties
+// broken toward smaller candidate ids; only the τ-evaluation count
+// changes. Exposed through BABOptions.Lazy as an ablation of the paper's
+// "scan all promoters" cost model.
+func (ev *evaluator) computeBoundLazy(budget int) boundResult {
+	res := boundResult{branch: -1}
+	h := lazyHeap{}
+	for c := candidate(0); int(c) < ev.numCands; c++ {
+		if !ev.eligible(c) {
+			continue
+		}
+		if g := ev.gainOf(c); g > 0 {
+			h = append(h, lazyEntry{gain: g, cand: c, iter: 0})
+		}
+	}
+	heap.Init(&h)
+	iter := int32(0)
+	for len(res.picks) < budget && h.Len() > 0 {
+		iter++
+		for h.Len() > 0 {
+			top := h[0]
+			if !ev.eligible(top.cand) {
+				heap.Pop(&h)
+				continue
+			}
+			if top.iter == iter {
+				// Fresh maximum: select it. Every other cached gain is an
+				// upper bound on its true gain, so nothing can beat this.
+				heap.Pop(&h)
+				ev.takenEpoch[top.cand] = ev.epoch
+				ev.coverSamples(top.cand)
+				res.picks = append(res.picks, top.cand)
+				break
+			}
+			// Stale: recompute and reposition.
+			g := ev.gainOf(top.cand)
+			if g <= 0 {
+				heap.Pop(&h)
+				continue
+			}
+			h[0] = lazyEntry{gain: g, cand: top.cand, iter: iter}
+			heap.Fix(&h, 0)
+		}
+	}
+	if len(res.picks) > 0 {
+		res.branch = res.picks[0]
+	}
+	res.tau = ev.scale(ev.tauSum)
+	return res
+}
+
+// lazyEntry is a CELF heap entry: a candidate with its cached gain and
+// the greedy iteration the gain was computed in.
+type lazyEntry struct {
+	gain float64
+	cand candidate
+	iter int32
+}
+
+type lazyHeap []lazyEntry
+
+func (h lazyHeap) Len() int { return len(h) }
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].cand < h[j].cand
+}
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,287 @@
+// Package core implements the paper's contribution: the Optimal
+// Influential Pieces Assignment (OIPA) problem and its solvers.
+//
+// Given a social graph G with topic-aware influence probabilities, a
+// multifaceted campaign T of ℓ viral pieces, a promoter pool V^p and a
+// budget of k promoter assignments, OIPA asks for an assignment plan
+// S̄ = {S_1, .., S_ℓ} (piece j is seeded at S_j, Σ|S_j| ≤ k) maximizing
+// the adoption utility σ(S̄) = Σ_v p[X_v = 1] under the logistic adoption
+// model of Eq. (1). σ is monotone but not submodular, and OIPA is NP-hard
+// to approximate within any constant factor (paper Theorem 1).
+//
+// The package provides:
+//
+//   - SolveBAB: the branch-and-bound framework (Algorithm 1) with the
+//     greedy tangent-line upper bound (Algorithm 2), a (1−1/e)
+//     approximation of the MRR-estimated optimum (Theorem 2);
+//   - SolveBABP: the same framework with progressive upper-bound
+//     estimation (Algorithm 3), a (1−1/e−ε) approximation (Theorem 3)
+//     with far fewer bound evaluations (Theorem 4);
+//   - SolveIM / SolveTIM: the paper's two baselines adapted from
+//     state-of-the-art IM (§VI-A);
+//   - SolveGreedy: the one-shot greedy on the tangent bound (the root
+//     bound computation of BAB, useful as a fast heuristic/ablation);
+//   - SolveBrute: exact enumeration for verification on tiny instances.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/rrset"
+	"oipa/internal/topic"
+)
+
+// Problem is an OIPA problem statement (Definition 1).
+type Problem struct {
+	G        *graph.Graph
+	Campaign topic.Campaign
+	Pool     []int32 // V^p, the eligible promoters
+	K        int     // total promoter assignments available
+	Model    logistic.Model
+}
+
+// Validate checks the problem statement.
+func (p *Problem) Validate() error {
+	if p.G == nil {
+		return fmt.Errorf("core: nil graph")
+	}
+	if err := p.Campaign.Validate(p.G.Z()); err != nil {
+		return fmt.Errorf("core: campaign: %w", err)
+	}
+	if len(p.Pool) == 0 {
+		return fmt.Errorf("core: empty promoter pool")
+	}
+	seen := make(map[int32]bool, len(p.Pool))
+	for _, v := range p.Pool {
+		if v < 0 || int(v) >= p.G.N() {
+			return fmt.Errorf("core: pool member %d outside graph", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("core: duplicate pool member %d", v)
+		}
+		seen[v] = true
+	}
+	if p.K <= 0 {
+		return fmt.Errorf("core: non-positive budget %d", p.K)
+	}
+	if err := p.Model.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// Plan is an assignment plan S̄ = {S_1, .., S_ℓ}: Seeds[j] is the seed set
+// assigned to piece j. Seed sets contain no duplicates.
+type Plan struct {
+	Seeds [][]int32
+}
+
+// NewPlan returns an empty plan for l pieces.
+func NewPlan(l int) Plan {
+	return Plan{Seeds: make([][]int32, l)}
+}
+
+// Size returns |S̄| = Σ_j |S_j|.
+func (p Plan) Size() int {
+	total := 0
+	for _, s := range p.Seeds {
+		total += len(s)
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (p Plan) Clone() Plan {
+	out := Plan{Seeds: make([][]int32, len(p.Seeds))}
+	for j, s := range p.Seeds {
+		out.Seeds[j] = append([]int32(nil), s...)
+	}
+	return out
+}
+
+// Contains reports whether q ⊆ p in the sense of Definition 2
+// (piece-wise seed-set containment).
+func (p Plan) Contains(q Plan) bool {
+	if len(p.Seeds) != len(q.Seeds) {
+		return false
+	}
+	for j := range q.Seeds {
+		have := make(map[int32]bool, len(p.Seeds[j]))
+		for _, v := range p.Seeds[j] {
+			have[v] = true
+		}
+		for _, v := range q.Seeds[j] {
+			if !have[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Union returns the piece-wise union p ∪ q (Definition 3).
+func (p Plan) Union(q Plan) Plan {
+	l := len(p.Seeds)
+	if len(q.Seeds) > l {
+		l = len(q.Seeds)
+	}
+	out := NewPlan(l)
+	for j := 0; j < l; j++ {
+		seen := map[int32]bool{}
+		if j < len(p.Seeds) {
+			for _, v := range p.Seeds[j] {
+				if !seen[v] {
+					seen[v] = true
+					out.Seeds[j] = append(out.Seeds[j], v)
+				}
+			}
+		}
+		if j < len(q.Seeds) {
+			for _, v := range q.Seeds[j] {
+				if !seen[v] {
+					seen[v] = true
+					out.Seeds[j] = append(out.Seeds[j], v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Has reports whether promoter v is assigned to piece j.
+func (p Plan) Has(j int, v int32) bool {
+	for _, u := range p.Seeds[j] {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Instance is a prepared OIPA instance: the problem plus the MRR samples,
+// the promoter-pool inverted index, and the tangent bound table that the
+// solvers share. Prepare once, solve many times.
+type Instance struct {
+	Problem    *Problem
+	PieceProbs [][]float64
+	MRR        *rrset.MRRCollection
+	Index      *rrset.Index
+	Bounds     *logistic.BoundTable
+
+	// SampleTime is how long MRR sampling took; the paper reports it
+	// separately (Table III) and excludes it from solver comparisons.
+	SampleTime time.Duration
+}
+
+// maxPieces bounds ℓ: per-sample coverage is tracked in a uint32 bitmask.
+const maxPieces = 32
+
+// Prepare validates the problem, materializes per-piece influence graphs,
+// draws theta multi-RR samples (in parallel, deterministically from seed),
+// and builds the pool index and bound table.
+func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	l := p.Campaign.L()
+	if l > maxPieces {
+		return nil, fmt.Errorf("core: %d pieces exceed the %d-piece limit", l, maxPieces)
+	}
+	pieceProbs := make([][]float64, l)
+	for j, piece := range p.Campaign.Pieces {
+		pieceProbs[j] = p.G.PieceProbs(piece.Dist)
+	}
+	start := time.Now()
+	mrr, err := rrset.SampleMRR(p.G, pieceProbs, theta, seed)
+	if err != nil {
+		return nil, err
+	}
+	sampleTime := time.Since(start)
+	ix, err := mrr.BuildIndex(p.Pool)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := logistic.NewBoundTableMode(p.Model, l, logistic.BoundHull)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Problem:    p,
+		PieceProbs: pieceProbs,
+		MRR:        mrr,
+		Index:      ix,
+		Bounds:     bounds,
+		SampleTime: sampleTime,
+	}, nil
+}
+
+// L returns the number of campaign pieces.
+func (in *Instance) L() int { return in.Problem.Campaign.L() }
+
+// WithK returns a shallow copy of the instance with a different budget.
+// The MRR samples, index and bound table are shared: none depend on k, so
+// parameter sweeps over k reuse all the expensive state.
+func (in *Instance) WithK(k int) (*Instance, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %d", k)
+	}
+	p := *in.Problem
+	p.K = k
+	out := *in
+	out.Problem = &p
+	return &out, nil
+}
+
+// WithModel returns a shallow copy with a different logistic model: the
+// bound table is rebuilt (same mode) while the samples and index — which
+// do not depend on α, β — are shared. Used by the β/α sweep (Fig. 6).
+func (in *Instance) WithModel(m logistic.Model) (*Instance, error) {
+	bounds, err := logistic.NewBoundTableMode(m, in.L(), in.Bounds.Mode)
+	if err != nil {
+		return nil, err
+	}
+	p := *in.Problem
+	p.Model = m
+	out := *in
+	out.Problem = &p
+	out.Bounds = bounds
+	return &out, nil
+}
+
+// WithBoundMode returns a shallow copy using a different upper-bound
+// construction (the hull-vs-tangent ablation).
+func (in *Instance) WithBoundMode(mode logistic.BoundMode) (*Instance, error) {
+	bounds, err := logistic.NewBoundTableMode(in.Problem.Model, in.L(), mode)
+	if err != nil {
+		return nil, err
+	}
+	out := *in
+	out.Bounds = bounds
+	return &out, nil
+}
+
+// EstimateAU evaluates σ̂(S̄) on the instance's MRR samples. Seeds must be
+// pool members.
+func (in *Instance) EstimateAU(plan Plan) (float64, error) {
+	return in.Index.EstimateAU(plan.Seeds, in.Problem.Model)
+}
+
+// SolverStats counts the work a solver performed.
+type SolverStats struct {
+	Nodes      int   // branch-and-bound nodes expanded
+	BoundEvals int   // ComputeBound / ComputeBoundPro invocations
+	TauEvals   int64 // candidate marginal-gain (τ) evaluations
+}
+
+// Result is a solver outcome.
+type Result struct {
+	Method  string
+	Plan    Plan
+	Utility float64 // MRR-estimated adoption utility of Plan
+	Upper   float64 // certified upper bound (BAB solvers; 0 otherwise)
+	Elapsed time.Duration
+	Stats   SolverStats
+}

@@ -1,0 +1,178 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) on the synthetic dataset
+// substitutes, producing the same rows/series the paper plots. Absolute
+// numbers differ from the paper's testbed; the *shapes* — method
+// orderings, trends in k/ℓ/(β/α), and the BAB-P speedup — are the
+// reproduction targets (see DESIGN.md §4 and EXPERIMENTS.md).
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"oipa/internal/core"
+	"oipa/internal/gen"
+	"oipa/internal/logistic"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+// Config describes one dataset configuration for an experiment run.
+type Config struct {
+	Preset       gen.Preset
+	Scale        float64 // dataset scale relative to the paper's full size
+	Seed         uint64
+	Theta        int     // MRR samples (the paper fixes 10^6; scaled here)
+	PoolFraction float64 // promoter pool fraction (paper: 10%)
+
+	// Default campaign parameters (Table IV defaults in bold): k = 50,
+	// ℓ = 3, β/α = 0.5, ε = 0.5.
+	K             int
+	L             int
+	BetaOverAlpha float64
+	Epsilon       float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("exp: scale %v must be positive", c.Scale)
+	}
+	if c.Theta <= 0 {
+		return fmt.Errorf("exp: theta %d must be positive", c.Theta)
+	}
+	if c.PoolFraction <= 0 || c.PoolFraction > 1 {
+		return fmt.Errorf("exp: pool fraction %v outside (0,1]", c.PoolFraction)
+	}
+	if c.K <= 0 || c.L <= 0 {
+		return fmt.Errorf("exp: k=%d, l=%d must be positive", c.K, c.L)
+	}
+	if c.BetaOverAlpha <= 0 {
+		return fmt.Errorf("exp: beta/alpha %v must be positive", c.BetaOverAlpha)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("exp: epsilon %v must be positive", c.Epsilon)
+	}
+	return nil
+}
+
+// Model converts the β/α ratio into the logistic model with β fixed to 1,
+// as the paper does ("We fix β = 1 and vary β/α", §VI-A).
+func (c Config) Model() logistic.Model {
+	return logistic.Model{Alpha: 1 / c.BetaOverAlpha, Beta: 1}
+}
+
+// DefaultConfig returns the laptop-scale default for a preset: lastfm at
+// full size, dblp at 1/50, tweet at 1/200, with θ scaled to keep harness
+// runs in minutes rather than hours (the paper's fixed θ=10^6 is
+// reachable via cmd/oipa-exp flags).
+func DefaultConfig(p gen.Preset) Config {
+	c := Config{
+		Preset:        p,
+		Seed:          1,
+		PoolFraction:  0.10,
+		K:             50,
+		L:             3,
+		BetaOverAlpha: 0.5,
+		Epsilon:       0.5,
+	}
+	switch p {
+	case gen.PresetLastfm:
+		c.Scale, c.Theta = 1, 100_000
+	case gen.PresetDBLP:
+		c.Scale, c.Theta = 0.02, 100_000
+	case gen.PresetTweet:
+		c.Scale, c.Theta = 0.005, 100_000
+	default:
+		c.Scale, c.Theta = 1, 100_000
+	}
+	return c
+}
+
+// SmallConfig returns a shrunken configuration for benchmarks and smoke
+// tests: everything is an order of magnitude smaller so a full
+// figure regeneration completes in seconds.
+func SmallConfig(p gen.Preset) Config {
+	c := DefaultConfig(p)
+	c.Theta = 10_000
+	c.K = 10
+	switch p {
+	case gen.PresetLastfm:
+		c.Scale = 0.3
+	case gen.PresetDBLP:
+		c.Scale = 0.004
+	case gen.PresetTweet:
+		c.Scale = 0.001
+	}
+	return c
+}
+
+// Workload bundles a generated dataset with the prepared OIPA instance
+// shared by every method in an experiment (the paper grants all methods
+// the same θ samples).
+type Workload struct {
+	Config    Config
+	Dataset   *gen.Dataset
+	Campaign  topic.Campaign
+	Pool      []int32
+	Instance  *core.Instance
+	BuildTime time.Duration
+}
+
+// BuildWorkload generates the dataset, draws the campaign (uniform
+// single-topic pieces, §VI-A), selects the promoter pool and prepares the
+// MRR instance.
+func BuildWorkload(c Config) (*Workload, error) {
+	return buildWorkload(c, nil)
+}
+
+// BuildWorkloadWithCampaign is BuildWorkload with an explicit campaign —
+// used by sweeps that need *nested* campaigns (Figure 5 evaluates the
+// prefixes of one fixed piece list so utility is comparable across ℓ).
+func BuildWorkloadWithCampaign(c Config, campaign topic.Campaign) (*Workload, error) {
+	return buildWorkload(c, &campaign)
+}
+
+func buildWorkload(c Config, explicit *topic.Campaign) (*Workload, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	d, err := gen.Build(c.Preset, c.Scale, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var campaign topic.Campaign
+	if explicit != nil {
+		campaign = *explicit
+		if campaign.L() != c.L {
+			return nil, fmt.Errorf("exp: campaign has %d pieces, config says %d", campaign.L(), c.L)
+		}
+	} else {
+		rng := xrand.New(c.Seed + 1000)
+		campaign = topic.UniformCampaign(string(c.Preset), c.L, d.Z(), rng)
+	}
+	pool, err := gen.PromoterPool(d.G, c.PoolFraction, c.Seed+2000)
+	if err != nil {
+		return nil, err
+	}
+	prob := &core.Problem{
+		G:        d.G,
+		Campaign: campaign,
+		Pool:     pool,
+		K:        c.K,
+		Model:    c.Model(),
+	}
+	inst, err := core.Prepare(prob, c.Theta, c.Seed+3000)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Config:    c,
+		Dataset:   d,
+		Campaign:  campaign,
+		Pool:      pool,
+		Instance:  inst,
+		BuildTime: time.Since(start),
+	}, nil
+}

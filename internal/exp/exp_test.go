@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oipa/internal/gen"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig(p gen.Preset) Config {
+	c := SmallConfig(p)
+	c.Theta = 2000
+	c.K = 5
+	c.L = 2
+	switch p {
+	case gen.PresetLastfm:
+		c.Scale = 0.1
+	case gen.PresetDBLP:
+		c.Scale = 0.001
+	case gen.PresetTweet:
+		c.Scale = 0.0003
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(gen.PresetLastfm)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"scale":   func(c *Config) { c.Scale = 0 },
+		"theta":   func(c *Config) { c.Theta = 0 },
+		"pool":    func(c *Config) { c.PoolFraction = 0 },
+		"pool>1":  func(c *Config) { c.PoolFraction = 1.5 },
+		"k":       func(c *Config) { c.K = 0 },
+		"l":       func(c *Config) { c.L = 0 },
+		"ratio":   func(c *Config) { c.BetaOverAlpha = 0 },
+		"epsilon": func(c *Config) { c.Epsilon = -1 },
+	} {
+		c := DefaultConfig(gen.PresetLastfm)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %q validated", name)
+		}
+	}
+}
+
+func TestConfigModel(t *testing.T) {
+	c := DefaultConfig(gen.PresetLastfm)
+	c.BetaOverAlpha = 0.5
+	m := c.Model()
+	if m.Beta != 1 || m.Alpha != 2 {
+		t.Fatalf("Model() = %+v, want beta=1 alpha=2", m)
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	w, err := BuildWorkload(tinyConfig(gen.PresetLastfm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Instance.MRR.Theta() != 2000 {
+		t.Fatalf("theta = %d", w.Instance.MRR.Theta())
+	}
+	if w.Campaign.L() != 2 {
+		t.Fatalf("campaign pieces = %d", w.Campaign.L())
+	}
+	if len(w.Pool) == 0 {
+		t.Fatal("empty pool")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	rows, err := TableIII([]Config{tinyConfig(gen.PresetLastfm), tinyConfig(gen.PresetTweet)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Name != "lastfm" || rows[1].Name != "tweet" {
+		t.Fatalf("row names %q, %q", rows[0].Name, rows[1].Name)
+	}
+	for _, r := range rows {
+		if r.Vertices <= 0 || r.Edges <= 0 || r.SampleSeconds < 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTableIII(&buf, rows)
+	if !strings.Contains(buf.String(), "lastfm") {
+		t.Fatal("render missing dataset name")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rows, err := Figure3(tinyConfig(gen.PresetLastfm), []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Method != MethodBABP || r.Param != "eps" {
+			t.Fatalf("unexpected row %+v", r)
+		}
+		if r.Utility < 0 {
+			t.Fatalf("negative utility %+v", r)
+		}
+	}
+}
+
+func TestFigure4ShapeAndOrdering(t *testing.T) {
+	rows, err := Figure4(tinyConfig(gen.PresetLastfm), []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 sweep points x 4 methods
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	util := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if util[r.Method] == nil {
+			util[r.Method] = map[float64]float64{}
+		}
+		util[r.Method][r.X] = r.Utility
+	}
+	// The paper's headline ordering: BAB and BAB-P at least match TIM.
+	for _, x := range []float64{2, 5} {
+		if util[MethodBAB][x] < util[MethodTIM][x]-1e-9 {
+			t.Fatalf("BAB (%v) below TIM (%v) at k=%v", util[MethodBAB][x], util[MethodTIM][x], x)
+		}
+	}
+	// Utility grows with k for the BAB family.
+	if util[MethodBAB][5] < util[MethodBAB][2] {
+		t.Fatal("BAB utility decreased with larger k")
+	}
+	var buf bytes.Buffer
+	RenderRows(&buf, "fig4", rows)
+	if !strings.Contains(buf.String(), "BAB-P") {
+		t.Fatal("render missing method")
+	}
+}
+
+func TestFigure5RebuildsPerL(t *testing.T) {
+	rows, err := Figure5(tinyConfig(gen.PresetLastfm), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	// At l=1 all methods optimize the same single piece; BAB may not beat
+	// TIM there but must not be worse.
+	util := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if util[r.Method] == nil {
+			util[r.Method] = map[float64]float64{}
+		}
+		util[r.Method][r.X] = r.Utility
+	}
+	if util[MethodBAB][1] < util[MethodTIM][1]-1e-9 {
+		t.Fatalf("BAB below TIM at l=1: %v vs %v", util[MethodBAB][1], util[MethodTIM][1])
+	}
+}
+
+func TestFigure6ModelSweep(t *testing.T) {
+	rows, err := Figure6(tinyConfig(gen.PresetLastfm), []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	// Larger beta/alpha (easier adoption) cannot reduce BAB's utility.
+	util := map[float64]float64{}
+	for _, r := range rows {
+		if r.Method == MethodBAB {
+			util[r.X] = r.Utility
+		}
+	}
+	if util[0.7] < util[0.3] {
+		t.Fatalf("BAB utility fell as adoption got easier: %v -> %v", util[0.3], util[0.7])
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	rows := []Row{
+		{Dataset: "d", Method: MethodBAB, X: 10, Seconds: 8},
+		{Dataset: "d", Method: MethodBABP, X: 10, Seconds: 2},
+		{Dataset: "d", Method: MethodBAB, X: 20, Seconds: 30},
+		{Dataset: "d", Method: MethodBABP, X: 20, Seconds: 3},
+		{Dataset: "e", Method: MethodBAB, X: 10, Seconds: 5}, // no BAB-P partner
+	}
+	sp := Speedups(rows)
+	if len(sp) != 2 {
+		t.Fatalf("got %d speedup rows, want 2", len(sp))
+	}
+	if sp[0].Speedup != 4 || sp[1].Speedup != 10 {
+		t.Fatalf("speedups %+v", sp)
+	}
+	var buf bytes.Buffer
+	RenderSpeedups(&buf, sp)
+	if !strings.Contains(buf.String(), "4.0x") {
+		t.Fatalf("render missing speedup: %s", buf.String())
+	}
+}
+
+func TestParamsTable(t *testing.T) {
+	var buf bytes.Buffer
+	ParamsTable(&buf)
+	for _, want := range []string{"k ", "beta/alpha", "eps"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("params table missing %q", want)
+		}
+	}
+}
+
+func TestRunMethodsUnknown(t *testing.T) {
+	w, err := BuildWorkload(tinyConfig(gen.PresetLastfm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runMethods("x", w.Instance, "k", 1, 0.5, []string{"NOPE"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package hardness makes the paper's inapproximability argument
+// (§IV-B, Lemma 1, Theorem 1) executable: it constructs the gap-preserving
+// reduction from Maximum Clique (MC) to OIPA and verifies Lemma 1's
+// sandwich numerically on concrete graphs.
+//
+// Given an MC instance Πa on n vertices, the reduction builds an OIPA
+// instance Πb with 3n vertices (x_i, y_i, r_i), n single-topic pieces,
+// deterministic edges
+//
+//	x_i → r_j  for j = i or (v_i, v_j) ∈ E_Πa   (topic i),
+//	y_i → r_j  for all j ≠ i                     (topic i),
+//
+// logistic parameters α = 2n·ln(2n), β = 2·ln(2n) (so a vertex receiving
+// all n pieces adopts with probability exactly 1/2 while n−1 pieces give
+// at most 1/(1+(2n)²)), promoter pool {x_i} ∪ {y_i}, and budget k = n.
+// Lemma 1 then states 2·OPT(Πb) − 1/n ≤ OPT(Πa) ≤ 2·OPT(Πb).
+package hardness
+
+import (
+	"fmt"
+	"math"
+
+	"oipa/internal/cascade"
+	"oipa/internal/core"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/topic"
+)
+
+// CliqueInstance is an undirected MC instance as an adjacency matrix
+// (symmetric, false diagonal).
+type CliqueInstance struct {
+	Adj [][]bool
+}
+
+// N returns the vertex count.
+func (c *CliqueInstance) N() int { return len(c.Adj) }
+
+// Validate checks symmetry and the empty diagonal.
+func (c *CliqueInstance) Validate() error {
+	n := len(c.Adj)
+	for i := 0; i < n; i++ {
+		if len(c.Adj[i]) != n {
+			return fmt.Errorf("hardness: row %d has length %d, want %d", i, len(c.Adj[i]), n)
+		}
+		if c.Adj[i][i] {
+			return fmt.Errorf("hardness: self-loop at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			if c.Adj[i][j] != c.Adj[j][i] {
+				return fmt.Errorf("hardness: asymmetric adjacency at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxCliqueBrute returns the maximum clique size by branch-and-bound over
+// vertex subsets (greedy pivot-free Bron–Kerbosch); intended for the
+// small instances this package verifies Lemma 1 on.
+func MaxCliqueBrute(c *CliqueInstance) int {
+	n := c.N()
+	best := 0
+	var clique []int
+	var extend func(cands []int)
+	extend = func(cands []int) {
+		if len(clique)+len(cands) <= best {
+			return // cannot beat the incumbent
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+		for idx, v := range cands {
+			// Candidates after v that are adjacent to v.
+			var next []int
+			for _, w := range cands[idx+1:] {
+				if c.Adj[v][w] {
+					next = append(next, w)
+				}
+			}
+			clique = append(clique, v)
+			extend(next)
+			clique = clique[:len(clique)-1]
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	extend(all)
+	return best
+}
+
+// Reduction is the constructed OIPA instance Πb with the node layout
+// exposed for inspection: X(i), Y(i), R(i) give the vertex ids.
+type Reduction struct {
+	Source     *CliqueInstance
+	Problem    *core.Problem
+	PieceProbs [][]float64
+}
+
+// X returns the vertex id of x_i.
+func (r *Reduction) X(i int) int32 { return int32(i) }
+
+// Y returns the vertex id of y_i.
+func (r *Reduction) Y(i int) int32 { return int32(r.Source.N() + i) }
+
+// R returns the vertex id of r_i.
+func (r *Reduction) R(i int) int32 { return int32(2*r.Source.N() + i) }
+
+// Build constructs the reduction Πb from an MC instance.
+func Build(src *CliqueInstance) (*Reduction, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	n := src.N()
+	if n < 2 {
+		return nil, fmt.Errorf("hardness: need at least 2 vertices, got %d", n)
+	}
+	red := &Reduction{Source: src}
+	b := graph.NewBuilder(3*n, n)
+	for i := 0; i < n; i++ {
+		// x_i → r_j for j = i or (v_i, v_j) ∈ E, on topic i.
+		if err := b.AddEdge(red.X(i), red.R(i), topic.SingleTopic(int32(i))); err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			if src.Adj[i][j] {
+				if err := b.AddEdge(red.X(i), red.R(j), topic.SingleTopic(int32(i))); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// y_i → r_j for all j ≠ i, on topic i.
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if err := b.AddEdge(red.Y(i), red.R(j), topic.SingleTopic(int32(i))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	pieces := make([]topic.Piece, n)
+	for i := range pieces {
+		pieces[i] = topic.Piece{Name: fmt.Sprintf("t%d", i), Dist: topic.SingleTopic(int32(i))}
+	}
+	pool := make([]int32, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pool = append(pool, red.X(i))
+	}
+	for i := 0; i < n; i++ {
+		pool = append(pool, red.Y(i))
+	}
+	ln2n := math.Log(2 * float64(n))
+	red.Problem = &core.Problem{
+		G:        g,
+		Campaign: topic.Campaign{Name: "reduction", Pieces: pieces},
+		Pool:     pool,
+		K:        n,
+		Model:    logistic.Model{Alpha: 2 * float64(n) * ln2n, Beta: 2 * ln2n},
+	}
+	red.PieceProbs = make([][]float64, n)
+	for i := range red.PieceProbs {
+		red.PieceProbs[i] = g.PieceProbs(pieces[i].Dist)
+	}
+	return red, nil
+}
+
+// Utility evaluates σ(S̄) of a plan on the reduction exactly (all edges
+// are deterministic).
+func (r *Reduction) Utility(plan core.Plan) (float64, error) {
+	return cascade.ExactAdoptionDeterministic(r.Problem.G, r.PieceProbs, plan.Seeds, r.Problem.Model)
+}
+
+// OptimalUtility computes OPT(Πb) exactly by enumerating the structured
+// plan space: piece i is only propagable by x_i or y_i (every other
+// assignment is provably useless, §IV-B), and the optimum uses exactly
+// one promoter per piece, so 2^n choices suffice.
+func (r *Reduction) OptimalUtility() (float64, core.Plan, error) {
+	n := r.Source.N()
+	if n > 20 {
+		return 0, core.Plan{}, fmt.Errorf("hardness: %d vertices too many for exact enumeration", n)
+	}
+	bestUtil := -1.0
+	var bestPlan core.Plan
+	for mask := 0; mask < 1<<n; mask++ {
+		plan := core.NewPlan(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				plan.Seeds[i] = []int32{r.X(i)}
+			} else {
+				plan.Seeds[i] = []int32{r.Y(i)}
+			}
+		}
+		util, err := r.Utility(plan)
+		if err != nil {
+			return 0, core.Plan{}, err
+		}
+		if util > bestUtil {
+			bestUtil = util
+			bestPlan = plan
+		}
+	}
+	return bestUtil, bestPlan, nil
+}
+
+// VerifyLemma1 checks 2·OPT(Πb) − 1/n ≤ OPT(Πa) ≤ 2·OPT(Πb) on the
+// instance and returns both optima.
+func VerifyLemma1(src *CliqueInstance) (optClique int, optOIPA float64, err error) {
+	red, err := Build(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	optClique = MaxCliqueBrute(src)
+	optOIPA, _, err = red.OptimalUtility()
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(src.N())
+	lower := 2*optOIPA - 1/n
+	upper := 2 * optOIPA
+	if float64(optClique) < lower-1e-9 || float64(optClique) > upper+1e-9 {
+		return optClique, optOIPA, fmt.Errorf(
+			"hardness: Lemma 1 violated: %v ≤ %d ≤ %v fails", lower, optClique, upper)
+	}
+	return optClique, optOIPA, nil
+}

@@ -1,0 +1,259 @@
+// Package interdep implements the paper's future-work direction (§VII):
+// "In this work, the viral pieces are spread in the network independently.
+// It would be interesting to study the interdependence of different viral
+// pieces while still optimizing the adoption utility."
+//
+// The model follows the comparative influence diffusion of Lu, Chen and
+// Lakshmanan (PVLDB 2015), reduced to a single knob: a global association
+// factor γ. When a piece tries to cross an edge (u, v) and the receiver v
+// has already received q other pieces of the campaign, the activation
+// probability is modulated to
+//
+//	p'(t, e) = clamp01( p(t, e) · (1 + γ)^q )
+//
+// γ > 0 makes pieces complementary (having seen part of the campaign
+// primes you for the rest), γ < 0 competitive (campaign fatigue), γ = 0
+// recovers the paper's independent model exactly.
+//
+// Because the pieces now interact, reverse-reachable sampling no longer
+// factorizes per piece; the package therefore evaluates plans by forward
+// Monte-Carlo simulation, and its role is to *stress-test* plans optimized
+// under the independence assumption: how much utility do OIPA's plans
+// keep when reality is mildly interdependent? (See examples/interdependence.)
+package interdep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"oipa/internal/bitset"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/xrand"
+)
+
+// Config parameterizes the interdependent cascade.
+type Config struct {
+	// Gamma is the association factor: positive = complementary pieces,
+	// negative = competitive, zero = independent. Must exceed -1.
+	Gamma float64
+	// MaxRounds caps the synchronized propagation (0 = until quiescent).
+	MaxRounds int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Gamma <= -1 {
+		return fmt.Errorf("interdep: gamma %v must exceed -1", c.Gamma)
+	}
+	if math.IsNaN(c.Gamma) || math.IsInf(c.Gamma, 0) {
+		return fmt.Errorf("interdep: gamma %v not finite", c.Gamma)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("interdep: negative round cap %d", c.MaxRounds)
+	}
+	return nil
+}
+
+// simulator holds per-goroutine state for the synchronized multi-piece
+// cascade. Pieces propagate in lock-step rounds: in round r, every user
+// newly activated for piece j in round r−1 tries its out-edges for piece
+// j, with the modulation factor read from the receiver's piece count at
+// the *start* of the round (a standard synchronous-update convention that
+// keeps the process well defined regardless of edge ordering).
+type simulator struct {
+	g          *graph.Graph
+	pieceProbs [][]float64
+	cfg        Config
+
+	received  *bitset.Counter // pieces received per user (any piece)
+	activated []*bitset.Stamp // per piece: user activated?
+	frontier  [][]int32
+	next      [][]int32
+	counts    []uint8 // receiver piece count snapshot for the round
+}
+
+func newSimulator(g *graph.Graph, pieceProbs [][]float64, cfg Config) (*simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := len(pieceProbs)
+	if l == 0 {
+		return nil, fmt.Errorf("interdep: no pieces")
+	}
+	for j, probs := range pieceProbs {
+		if len(probs) != g.M() {
+			return nil, fmt.Errorf("interdep: piece %d has %d probabilities for %d edges", j, len(probs), g.M())
+		}
+	}
+	s := &simulator{
+		g:          g,
+		pieceProbs: pieceProbs,
+		cfg:        cfg,
+		received:   bitset.NewCounter(g.N()),
+		activated:  make([]*bitset.Stamp, l),
+		frontier:   make([][]int32, l),
+		next:       make([][]int32, l),
+	}
+	for j := range s.activated {
+		s.activated[j] = bitset.NewStamp(g.N())
+	}
+	return s, nil
+}
+
+// run performs one cascade and returns the per-user received-piece counts
+// via the counter (valid until the next run).
+func (s *simulator) run(plan [][]int32, rng *xrand.SplitMix64) *bitset.Counter {
+	s.received.Reset()
+	l := len(s.pieceProbs)
+	for j := 0; j < l; j++ {
+		s.activated[j].Reset()
+		s.frontier[j] = s.frontier[j][:0]
+		for _, v := range plan[j] {
+			if s.activated[j].MarkOnce(int(v)) {
+				s.frontier[j] = append(s.frontier[j], v)
+				s.received.Add(int(v))
+			}
+		}
+	}
+	for round := 1; ; round++ {
+		if s.cfg.MaxRounds > 0 && round > s.cfg.MaxRounds {
+			break
+		}
+		active := false
+		// Snapshot receiver counts so modulation within the round is
+		// order independent.
+		snapshot := func(v int32) float64 {
+			q := s.received.Get(int(v))
+			if q == 0 || s.cfg.Gamma == 0 {
+				return 1
+			}
+			return math.Pow(1+s.cfg.Gamma, float64(q))
+		}
+		for j := 0; j < l; j++ {
+			s.next[j] = s.next[j][:0]
+			probs := s.pieceProbs[j]
+			for _, u := range s.frontier[j] {
+				tos, eids := s.g.OutNeighbors(u)
+				for i, v := range tos {
+					if s.activated[j].Marked(int(v)) {
+						continue
+					}
+					p := probs[eids[i]]
+					if p <= 0 {
+						continue
+					}
+					// The receiving user's count *excluding* piece j
+					// itself: v is not activated for j, and counts from
+					// this round are deferred to the next one.
+					p *= snapshot(v)
+					if p > 1 {
+						p = 1
+					}
+					if p < 1 && rng.Float64() >= p {
+						continue
+					}
+					s.activated[j].Mark(int(v))
+					s.next[j] = append(s.next[j], v)
+				}
+			}
+		}
+		// Commit the round: update counts after all pieces tried.
+		for j := 0; j < l; j++ {
+			for _, v := range s.next[j] {
+				s.received.Add(int(v))
+			}
+			s.frontier[j], s.next[j] = s.next[j], s.frontier[j]
+			if len(s.frontier[j]) > 0 {
+				active = true
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	return s.received
+}
+
+// EstimateAdoption estimates the adoption utility σ(S̄) under the
+// interdependent cascade by Monte-Carlo simulation; runs are parallelized
+// and derive their RNG streams from (seed, run), so results are
+// deterministic for a fixed seed.
+func EstimateAdoption(g *graph.Graph, pieceProbs [][]float64, plan [][]int32, model logistic.Model, cfg Config, runs int, seed uint64) (float64, error) {
+	if runs <= 0 {
+		return 0, fmt.Errorf("interdep: non-positive run count %d", runs)
+	}
+	if len(plan) != len(pieceProbs) {
+		return 0, fmt.Errorf("interdep: plan has %d seed sets for %d pieces", len(plan), len(pieceProbs))
+	}
+	if err := model.Validate(); err != nil {
+		return 0, err
+	}
+	l := len(pieceProbs)
+	adoptAt := make([]float64, l+1)
+	for c := 1; c <= l; c++ {
+		adoptAt[c] = model.Adoption(c)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	totals := make([]float64, workers)
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sim, err := newSimulator(g, pieceProbs, cfg)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			var sum float64
+			for r := w; r < runs; r += workers {
+				rng := xrand.Derive(seed, uint64(r))
+				counts := sim.run(plan, rng)
+				for v := 0; v < g.N(); v++ {
+					if c := counts.Get(v); c > 0 {
+						sum += adoptAt[c]
+					}
+				}
+			}
+			totals[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	var total float64
+	for _, t := range totals {
+		total += t
+	}
+	return total / float64(runs), nil
+}
+
+// StressRow is one point of a robustness study: the plan's utility under
+// a given association factor.
+type StressRow struct {
+	Gamma   float64
+	Utility float64
+}
+
+// StressPlan evaluates a plan across a γ sweep — the robustness study the
+// paper's future-work paragraph motivates.
+func StressPlan(g *graph.Graph, pieceProbs [][]float64, plan [][]int32, model logistic.Model, gammas []float64, runs int, seed uint64) ([]StressRow, error) {
+	rows := make([]StressRow, 0, len(gammas))
+	for _, gamma := range gammas {
+		u, err := EstimateAdoption(g, pieceProbs, plan, model, Config{Gamma: gamma}, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StressRow{Gamma: gamma, Utility: u})
+	}
+	return rows, nil
+}

@@ -1,0 +1,206 @@
+package interdep
+
+import (
+	"math"
+	"testing"
+
+	"oipa/internal/cascade"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+var testModel = logistic.Model{Alpha: 2, Beta: 1}
+
+// testGraph builds a random two-topic graph with fractional probabilities.
+func testGraph(t testing.TB, seed uint64, n, m int) (*graph.Graph, [][]float64) {
+	t.Helper()
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n, 2)
+	added := map[[2]int32]bool{}
+	for b.M() < m {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v || added[[2]int32{u, v}] {
+			continue
+		}
+		added[[2]int32{u, v}] = true
+		dense := make([]float64, 2)
+		dense[r.Intn(2)] = 0.1 + 0.3*r.Float64()
+		if err := b.AddEdge(u, v, topic.FromDense(dense)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, [][]float64{
+		g.PieceProbs(topic.SingleTopic(0)),
+		g.PieceProbs(topic.SingleTopic(1)),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Gamma: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Gamma: -1}, {Gamma: -2}, {Gamma: math.NaN()},
+		{Gamma: math.Inf(1)}, {Gamma: 0, MaxRounds: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v validated", bad)
+		}
+	}
+}
+
+func TestEstimateAdoptionValidates(t *testing.T) {
+	g, probs := testGraph(t, 1, 20, 60)
+	plan := [][]int32{{0}, {1}}
+	if _, err := EstimateAdoption(g, probs, plan, testModel, Config{}, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if _, err := EstimateAdoption(g, probs, [][]int32{{0}}, testModel, Config{}, 10, 1); err == nil {
+		t.Fatal("plan length mismatch accepted")
+	}
+	if _, err := EstimateAdoption(g, probs, plan, logistic.Model{}, Config{}, 10, 1); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := EstimateAdoption(g, probs, plan, testModel, Config{Gamma: -1}, 10, 1); err == nil {
+		t.Fatal("invalid gamma accepted")
+	}
+}
+
+func TestGammaZeroMatchesIndependentModel(t *testing.T) {
+	// With γ = 0 the interdependent cascade has exactly the independent
+	// model's distribution; the Monte-Carlo estimates must agree within
+	// noise.
+	g, probs := testGraph(t, 5, 60, 240)
+	plan := [][]int32{{0, 3}, {7}}
+	indep, err := cascade.EstimateAdoption(g, probs, plan, testModel, 150000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := EstimateAdoption(g, probs, plan, testModel, Config{Gamma: 0}, 150000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(indep - inter); diff > 0.05*indep+0.05 {
+		t.Fatalf("gamma=0 estimate %v too far from independent %v", inter, indep)
+	}
+}
+
+func TestGammaMonotonicity(t *testing.T) {
+	// Complementary pieces (γ>0) must not yield less utility than
+	// independent, which must not yield less than competitive (γ<0).
+	g, probs := testGraph(t, 7, 80, 320)
+	plan := [][]int32{{0, 5}, {9, 14}}
+	rows, err := StressPlan(g, probs, plan, testModel, []float64{-0.5, 0, 1.0}, 60000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rows[0].Utility <= rows[1].Utility+0.05 && rows[1].Utility <= rows[2].Utility+0.05) {
+		t.Fatalf("utility not monotone in gamma: %+v", rows)
+	}
+	// And strictly so at the extremes on this configuration.
+	if rows[2].Utility <= rows[0].Utility {
+		t.Fatalf("complementary (%v) not above competitive (%v)", rows[2].Utility, rows[0].Utility)
+	}
+}
+
+func TestDeterministicGraphCounts(t *testing.T) {
+	// On the paper's deterministic example graph, non-negative γ has no
+	// effect: probabilities are 0 or 1, and upward modulation clamps back
+	// to 1. (Negative γ genuinely weakens the certain edges — asserted
+	// separately below.)
+	b := graph.NewBuilder(5, 2)
+	type e struct{ u, v, z int32 }
+	for _, ed := range []e{
+		{0, 1, 0}, {1, 2, 0}, {2, 3, 0},
+		{4, 3, 1}, {3, 2, 1}, {2, 1, 1},
+	} {
+		if err := b.AddEdge(ed.u, ed.v, topic.SingleTopic(ed.z)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := [][]float64{
+		g.PieceProbs(topic.SingleTopic(0)),
+		g.PieceProbs(topic.SingleTopic(1)),
+	}
+	model := logistic.Model{Alpha: 3, Beta: 1}
+	plan := [][]int32{{0}, {4}}
+	exact, err := cascade.ExactAdoptionDeterministic(g, probs, plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{0, 2} {
+		got, err := EstimateAdoption(g, probs, plan, model, Config{Gamma: gamma}, 200, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("gamma=%v: %v != exact %v on deterministic graph", gamma, got, exact)
+		}
+	}
+	// Competitive modulation weakens even certain edges: utility drops.
+	competitive, err := EstimateAdoption(g, probs, plan, model, Config{Gamma: -0.9}, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if competitive >= exact {
+		t.Fatalf("gamma=-0.9 utility %v did not drop below independent %v", competitive, exact)
+	}
+}
+
+func TestMaxRoundsTruncates(t *testing.T) {
+	// A 3-hop deterministic chain seeded at the head: with MaxRounds=1
+	// only the first hop happens.
+	b := graph.NewBuilder(4, 1)
+	one := topic.SingleTopic(0)
+	for i := int32(0); i < 3; i++ {
+		if err := b.AddEdge(i, i+1, one); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := [][]float64{g.PieceProbs(one)}
+	m := logistic.Model{Alpha: 1, Beta: 1}
+	full, err := EstimateAdoption(g, probs, [][]int32{{0}}, m, Config{}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * m.Adoption(1); math.Abs(full-want) > 1e-9 {
+		t.Fatalf("unbounded rounds reached %v, want %v", full, want)
+	}
+	short, err := EstimateAdoption(g, probs, [][]int32{{0}}, m, Config{MaxRounds: 1}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * m.Adoption(1); math.Abs(short-want) > 1e-9 {
+		t.Fatalf("1-round cascade reached %v, want %v", short, want)
+	}
+}
+
+func TestEstimateAdoptionDeterministicAcrossSeeds(t *testing.T) {
+	g, probs := testGraph(t, 9, 40, 160)
+	plan := [][]int32{{0}, {1}}
+	a, err := EstimateAdoption(g, probs, plan, testModel, Config{Gamma: 0.5}, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateAdoption(g, probs, plan, testModel, Config{Gamma: 0.5}, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different estimates: %v vs %v", a, b)
+	}
+}

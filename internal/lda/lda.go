@@ -1,0 +1,255 @@
+// Package lda implements Latent Dirichlet Allocation (Blei, Ng, Jordan
+// 2003) via collapsed Gibbs sampling (Griffiths & Steyvers 2004). The
+// paper uses LDA to extract per-user topic distributions on the tweet
+// dataset: "we consider all hashtags of an individual user as a document
+// and apply LDA [5] on all the documents to obtain the topic distribution
+// of each user" (§VI-A). This package is that substrate.
+package lda
+
+import (
+	"fmt"
+	"math"
+
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+// Config parameterizes the sampler.
+type Config struct {
+	K       int     // number of topics
+	Alpha   float64 // document-topic Dirichlet prior
+	Beta    float64 // topic-word Dirichlet prior
+	Burn    int     // burn-in sweeps before averaging
+	Samples int     // post-burn-in sweeps averaged into the estimates
+	Lag     int     // sweeps between collected samples (thinning; 0 → 1)
+	Seed    uint64
+}
+
+// DefaultConfig returns sensible defaults for k topics.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Alpha: 50.0 / float64(k), Beta: 0.01, Burn: 60, Samples: 10, Lag: 2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("lda: topic count %d must be positive", c.K)
+	}
+	if c.Alpha <= 0 || c.Beta <= 0 {
+		return fmt.Errorf("lda: priors must be positive (alpha=%v, beta=%v)", c.Alpha, c.Beta)
+	}
+	if c.Burn < 0 || c.Samples <= 0 || c.Lag < 0 {
+		return fmt.Errorf("lda: invalid sweep counts (burn=%d, samples=%d, lag=%d)", c.Burn, c.Samples, c.Lag)
+	}
+	return nil
+}
+
+// Model is the fitted LDA model.
+type Model struct {
+	K, V      int
+	DocTopic  [][]float64 // θ: per-document topic distributions
+	TopicWord [][]float64 // φ: per-topic word distributions
+	LogPerp   float64     // final in-sample log perplexity proxy (lower is better)
+}
+
+// Run fits LDA to the corpus by collapsed Gibbs sampling. docs[d] lists
+// word identifiers in [0, vocab). Empty documents are allowed and receive
+// the uniform prior distribution.
+func Run(docs [][]int32, vocab int, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if vocab <= 0 {
+		return nil, fmt.Errorf("lda: vocabulary size %d must be positive", vocab)
+	}
+	for d, doc := range docs {
+		for i, w := range doc {
+			if w < 0 || int(w) >= vocab {
+				return nil, fmt.Errorf("lda: doc %d word %d id %d outside vocabulary", d, i, w)
+			}
+		}
+	}
+	k := cfg.K
+	nDocs := len(docs)
+	rng := xrand.New(cfg.Seed)
+
+	// Count matrices for the collapsed sampler.
+	ndk := make([][]int32, nDocs) // document-topic counts
+	nkw := make([][]int32, k)     // topic-word counts
+	nk := make([]int64, k)        // topic totals
+	assign := make([][]int8, nDocs)
+	if k > 127 {
+		return nil, fmt.Errorf("lda: topic count %d exceeds int8 assignment storage", k)
+	}
+	for d := range docs {
+		ndk[d] = make([]int32, k)
+		assign[d] = make([]int8, len(docs[d]))
+	}
+	for z := 0; z < k; z++ {
+		nkw[z] = make([]int32, vocab)
+	}
+	// Random initialization.
+	for d, doc := range docs {
+		for i, w := range doc {
+			z := int8(rng.Intn(k))
+			assign[d][i] = z
+			ndk[d][z]++
+			nkw[z][w]++
+			nk[z]++
+		}
+	}
+
+	vBeta := float64(vocab) * cfg.Beta
+	probs := make([]float64, k)
+	sweep := func() {
+		for d, doc := range docs {
+			for i, w := range doc {
+				old := assign[d][i]
+				ndk[d][old]--
+				nkw[old][w]--
+				nk[old]--
+				total := 0.0
+				for z := 0; z < k; z++ {
+					p := (float64(ndk[d][z]) + cfg.Alpha) *
+						(float64(nkw[z][w]) + cfg.Beta) /
+						(float64(nk[z]) + vBeta)
+					probs[z] = p
+					total += p
+				}
+				u := rng.Float64() * total
+				nz := k - 1
+				acc := 0.0
+				for z := 0; z < k; z++ {
+					acc += probs[z]
+					if u < acc {
+						nz = z
+						break
+					}
+				}
+				assign[d][i] = int8(nz)
+				ndk[d][nz]++
+				nkw[nz][w]++
+				nk[nz]++
+			}
+		}
+	}
+
+	for s := 0; s < cfg.Burn; s++ {
+		sweep()
+	}
+	lag := cfg.Lag
+	if lag < 1 {
+		lag = 1
+	}
+	theta := make([][]float64, nDocs)
+	for d := range theta {
+		theta[d] = make([]float64, k)
+	}
+	phi := make([][]float64, k)
+	for z := range phi {
+		phi[z] = make([]float64, vocab)
+	}
+	for s := 0; s < cfg.Samples; s++ {
+		for i := 0; i < lag; i++ {
+			sweep()
+		}
+		// Accumulate posterior means.
+		for d := range docs {
+			denom := float64(len(docs[d])) + float64(k)*cfg.Alpha
+			for z := 0; z < k; z++ {
+				theta[d][z] += (float64(ndk[d][z]) + cfg.Alpha) / denom
+			}
+		}
+		for z := 0; z < k; z++ {
+			denom := float64(nk[z]) + vBeta
+			for w := 0; w < vocab; w++ {
+				phi[z][w] += (float64(nkw[z][w]) + cfg.Beta) / denom
+			}
+		}
+	}
+	inv := 1 / float64(cfg.Samples)
+	for d := range theta {
+		for z := range theta[d] {
+			theta[d][z] *= inv
+		}
+	}
+	for z := range phi {
+		for w := range phi[z] {
+			phi[z][w] *= inv
+		}
+	}
+
+	m := &Model{K: k, V: vocab, DocTopic: theta, TopicWord: phi}
+	m.LogPerp = m.logPerplexity(docs)
+	return m, nil
+}
+
+// logPerplexity computes the average negative log-likelihood per token of
+// the corpus under the fitted model — the usual in-sample fit proxy.
+func (m *Model) logPerplexity(docs [][]int32) float64 {
+	var ll float64
+	var tokens int
+	for d, doc := range docs {
+		for _, w := range doc {
+			p := 0.0
+			for z := 0; z < m.K; z++ {
+				p += m.DocTopic[d][z] * m.TopicWord[z][w]
+			}
+			if p > 0 {
+				ll += math.Log(p)
+				tokens++
+			}
+		}
+	}
+	if tokens == 0 {
+		return 0
+	}
+	return -ll / float64(tokens)
+}
+
+// UserTopics converts the fitted document-topic rows into sparse topic
+// vectors (keeping the top `keep` entries), ready to serve as user
+// interest distributions for dataset construction.
+func (m *Model) UserTopics(keep int) []topic.Vector {
+	out := make([]topic.Vector, len(m.DocTopic))
+	for d, row := range m.DocTopic {
+		if keep > 0 && keep < m.K {
+			out[d] = topKeep(row, keep)
+		} else {
+			out[d] = topic.FromDense(row).Normalize()
+		}
+	}
+	return out
+}
+
+// topKeep keeps the `keep` largest entries of a dense distribution and
+// renormalizes.
+func topKeep(row []float64, keep int) topic.Vector {
+	type kv struct {
+		i int
+		v float64
+	}
+	top := make([]kv, 0, keep+1)
+	for i, v := range row {
+		if v <= 0 {
+			continue
+		}
+		top = append(top, kv{i, v})
+		// Insertion sort by descending value, truncated at keep.
+		for j := len(top) - 1; j > 0 && top[j].v > top[j-1].v; j-- {
+			top[j], top[j-1] = top[j-1], top[j]
+		}
+		if len(top) > keep {
+			top = top[:keep]
+		}
+	}
+	dense := make([]float64, len(row))
+	sum := 0.0
+	for _, e := range top {
+		sum += e.v
+	}
+	for _, e := range top {
+		dense[e.i] = e.v / sum
+	}
+	return topic.FromDense(dense)
+}

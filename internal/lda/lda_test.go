@@ -1,0 +1,256 @@
+package lda_test
+
+import (
+	"math"
+	"testing"
+
+	"oipa/internal/gen"
+	"oipa/internal/lda"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := lda.DefaultConfig(5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []lda.Config{
+		{K: 0, Alpha: 1, Beta: 1, Samples: 1},
+		{K: 3, Alpha: 0, Beta: 1, Samples: 1},
+		{K: 3, Alpha: 1, Beta: -1, Samples: 1},
+		{K: 3, Alpha: 1, Beta: 1, Samples: 0},
+		{K: 3, Alpha: 1, Beta: 1, Samples: 1, Burn: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	cfg := lda.DefaultConfig(2)
+	cfg.Burn, cfg.Samples = 1, 1
+	if _, err := lda.Run([][]int32{{0, 5}}, 3, cfg); err == nil {
+		t.Fatal("out-of-vocabulary word accepted")
+	}
+	if _, err := lda.Run([][]int32{{0}}, 0, cfg); err == nil {
+		t.Fatal("zero vocabulary accepted")
+	}
+	big := lda.DefaultConfig(200)
+	if _, err := lda.Run([][]int32{{0}}, 3, big); err == nil {
+		t.Fatal("topic count beyond int8 storage accepted")
+	}
+}
+
+func TestDistributionsAreNormalized(t *testing.T) {
+	corpus, err := gen.GenerateCorpus(gen.CorpusConfig{
+		Docs: 80, Topics: 4, WordsPerTopic: 25,
+		DocLength: 40, TopicsPerDoc: 2, NoiseWords: 0.05,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lda.DefaultConfig(4)
+	cfg.Burn, cfg.Samples, cfg.Lag = 20, 5, 1
+	cfg.Seed = 7
+	m, err := lda.Run(corpus.Docs, corpus.V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, row := range m.DocTopic {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative theta in doc %d", d)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("theta row %d sums to %v", d, sum)
+		}
+	}
+	for z, row := range m.TopicWord {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative phi in topic %d", z)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("phi row %d sums to %v", z, sum)
+		}
+	}
+}
+
+func TestRecoversBlockStructure(t *testing.T) {
+	// The planted corpus assigns each topic a vocabulary block. A fitted
+	// model must concentrate each recovered topic's word mass in a single
+	// block, and document mixtures must align with the planted ones after
+	// the best topic matching.
+	const topics, wordsPerTopic = 5, 30
+	corpus, err := gen.GenerateCorpus(gen.CorpusConfig{
+		Docs: 400, Topics: topics, WordsPerTopic: wordsPerTopic,
+		DocLength: 50, TopicsPerDoc: 2, NoiseWords: 0.02,
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lda.DefaultConfig(topics)
+	// The Griffiths-Steyvers default α = 50/K adds as many pseudo-counts
+	// as these 50-word documents have tokens, flattening θ; recovery of
+	// sparse planted mixtures needs a weak document prior.
+	cfg.Alpha = 0.2
+	cfg.Seed = 5
+	m, err := lda.Run(corpus.Docs, corpus.V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Match each recovered topic to the planted block holding most of its
+	// mass.
+	match := make([]int, topics) // recovered topic -> planted block
+	blockMass := make([]float64, topics)
+	for z := 0; z < topics; z++ {
+		best, bestMass := 0, -1.0
+		for b := 0; b < topics; b++ {
+			mass := 0.0
+			for w := b * wordsPerTopic; w < (b+1)*wordsPerTopic; w++ {
+				mass += m.TopicWord[z][w]
+			}
+			if mass > bestMass {
+				best, bestMass = b, mass
+			}
+		}
+		match[z] = best
+		blockMass[z] = bestMass
+	}
+	// Every recovered topic should be dominated by one block.
+	for z, mass := range blockMass {
+		if mass < 0.75 {
+			t.Fatalf("topic %d only puts %v mass in its best block", z, mass)
+		}
+	}
+	// The matching should be a bijection (all blocks recovered).
+	seen := map[int]bool{}
+	for _, b := range match {
+		seen[b] = true
+	}
+	if len(seen) != topics {
+		t.Fatalf("recovered topics cover only %d of %d planted blocks", len(seen), topics)
+	}
+
+	// Document mixtures: average absolute error between the planted
+	// mixture and the matched recovered mixture should be small.
+	var totalErr float64
+	var count int
+	for d := range corpus.Docs {
+		recovered := make([]float64, topics)
+		for z := 0; z < topics; z++ {
+			recovered[match[z]] += m.DocTopic[d][z]
+		}
+		planted := corpus.Mixtures[d].Dense(topics)
+		for b := 0; b < topics; b++ {
+			totalErr += math.Abs(recovered[b] - planted[b])
+			count++
+		}
+	}
+	if mae := totalErr / float64(count); mae > 0.08 {
+		t.Fatalf("document mixture MAE %v too large", mae)
+	}
+}
+
+func TestMoreSweepsDoNotHurtFit(t *testing.T) {
+	corpus, err := gen.GenerateCorpus(gen.CorpusConfig{
+		Docs: 150, Topics: 3, WordsPerTopic: 20,
+		DocLength: 40, TopicsPerDoc: 1, NoiseWords: 0.05,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := lda.DefaultConfig(3)
+	short.Burn, short.Samples, short.Lag, short.Seed = 2, 2, 1, 1
+	long := lda.DefaultConfig(3)
+	long.Burn, long.Samples, long.Lag, long.Seed = 80, 10, 2, 1
+	ms, err := lda.Run(corpus.Docs, corpus.V, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := lda.Run(corpus.Docs, corpus.V, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer chains should fit at least as well (allowing sampler noise).
+	if ml.LogPerp > ms.LogPerp+0.05 {
+		t.Fatalf("long chain perplexity %v worse than short %v", ml.LogPerp, ms.LogPerp)
+	}
+}
+
+func TestUserTopicsSparsifies(t *testing.T) {
+	corpus, err := gen.GenerateCorpus(gen.CorpusConfig{
+		Docs: 50, Topics: 6, WordsPerTopic: 15,
+		DocLength: 30, TopicsPerDoc: 2, NoiseWords: 0.05,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lda.DefaultConfig(6)
+	cfg.Burn, cfg.Samples, cfg.Lag = 15, 3, 1
+	m, err := lda.Run(corpus.Docs, corpus.V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := m.UserTopics(2)
+	if len(vecs) != 50 {
+		t.Fatalf("got %d user vectors", len(vecs))
+	}
+	for d, v := range vecs {
+		if v.NNZ() > 2 {
+			t.Fatalf("user %d vector has %d entries, want <= 2", d, v.NNZ())
+		}
+		if math.Abs(v.Sum()-1) > 1e-9 {
+			t.Fatalf("user %d vector sums to %v", d, v.Sum())
+		}
+	}
+	// keep <= 0 returns the full normalized distribution.
+	full := m.UserTopics(0)
+	for d, v := range full {
+		if math.Abs(v.Sum()-1) > 1e-9 {
+			t.Fatalf("full vector %d sums to %v", d, v.Sum())
+		}
+	}
+}
+
+func TestEmptyDocumentsTolerated(t *testing.T) {
+	cfg := lda.DefaultConfig(2)
+	cfg.Burn, cfg.Samples, cfg.Lag = 3, 2, 1
+	m, err := lda.Run([][]int32{{}, {0, 1}, {}}, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range m.DocTopic[0] {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("empty doc theta sums to %v", sum)
+	}
+}
+
+func BenchmarkGibbsSweep(b *testing.B) {
+	corpus, err := gen.GenerateCorpus(gen.CorpusConfig{
+		Docs: 200, Topics: 10, WordsPerTopic: 30,
+		DocLength: 50, TopicsPerDoc: 2, NoiseWords: 0.05,
+	}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := lda.DefaultConfig(10)
+	cfg.Burn, cfg.Samples, cfg.Lag = 1, 1, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lda.Run(corpus.Docs, corpus.V, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package relaxed implements the second future-work direction of the
+// paper (§VII): "a promising future direction would be to relax the
+// adoption behavior model in a way that would render the problem
+// tractable, i.e., monotone and submodular."
+//
+// If the adoption probability is a *concave* non-decreasing function of
+// the received-piece count with value 0 at count 0, then the adoption
+// utility is a monotone submodular function of the assignment plan (it is
+// a non-negative combination of coverage indicators composed with a
+// concave curve), and plain greedy selection achieves the classic (1−1/e)
+// guarantee directly — no branch-and-bound needed.
+//
+// The package provides such a model (CoverageModel, the "independent
+// exposures" curve 1−(1−p)^c), a concavity checker for arbitrary curves,
+// a greedy solver over the same MRR samples the exact solvers use, and a
+// cross-evaluation helper to measure how well the tractable relaxation's
+// plans perform under the true logistic objective.
+package relaxed
+
+import (
+	"fmt"
+	"math"
+
+	"oipa/internal/rrset"
+)
+
+// AdoptionModel is a monotone adoption curve over received-piece counts.
+type AdoptionModel interface {
+	// Adoption returns the adoption probability at a given received-piece
+	// count; it must be 0 at count 0 and non-decreasing.
+	Adoption(count int) float64
+}
+
+// CoverageModel is the independent-exposures adoption curve
+// p(c) = 1 − (1−P)^c: each received piece independently convinces the
+// user with probability P. Concave and zero at zero, hence tractable.
+type CoverageModel struct {
+	P float64
+}
+
+// Validate checks P ∈ (0, 1].
+func (m CoverageModel) Validate() error {
+	if !(m.P > 0) || m.P > 1 || math.IsNaN(m.P) {
+		return fmt.Errorf("relaxed: P %v outside (0,1]", m.P)
+	}
+	return nil
+}
+
+// Adoption implements AdoptionModel.
+func (m CoverageModel) Adoption(count int) float64 {
+	if count <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-m.P, float64(count))
+}
+
+// LinearModel is the capped linear curve p(c) = min(1, Slope·c); the
+// simplest concave relaxation.
+type LinearModel struct {
+	Slope float64
+}
+
+// Validate checks Slope ∈ (0, 1].
+func (m LinearModel) Validate() error {
+	if !(m.Slope > 0) || m.Slope > 1 || math.IsNaN(m.Slope) {
+		return fmt.Errorf("relaxed: slope %v outside (0,1]", m.Slope)
+	}
+	return nil
+}
+
+// Adoption implements AdoptionModel.
+func (m LinearModel) Adoption(count int) float64 {
+	if count <= 0 {
+		return 0
+	}
+	v := m.Slope * float64(count)
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// IsTractable reports whether the curve is non-decreasing and concave on
+// counts 0..l with Adoption(0) == 0 — the conditions under which Greedy's
+// (1−1/e) guarantee holds.
+func IsTractable(m AdoptionModel, l int) bool {
+	if m.Adoption(0) != 0 {
+		return false
+	}
+	prevGain := math.Inf(1)
+	for c := 0; c < l; c++ {
+		gain := m.Adoption(c+1) - m.Adoption(c)
+		if gain < -1e-12 || gain > prevGain+1e-12 {
+			return false
+		}
+		prevGain = gain
+	}
+	return true
+}
+
+// Result is the greedy solver's outcome.
+type Result struct {
+	Plan     [][]int32 // per-piece seed sets over graph node ids
+	Utility  float64   // MRR-estimated adoption utility under the model
+	TauEvals int64     // marginal-gain evaluations performed
+}
+
+// Greedy maximizes the relaxed adoption utility over the MRR samples with
+// plain greedy selection, restricted to the index's promoter pool. It
+// rejects models that are not tractable on 0..l.
+func Greedy(ix *rrset.Index, model AdoptionModel, k int) (*Result, error) {
+	m := ix.MRR()
+	l := m.L()
+	if k <= 0 {
+		return nil, fmt.Errorf("relaxed: non-positive budget %d", k)
+	}
+	if !IsTractable(model, l) {
+		return nil, fmt.Errorf("relaxed: model is not concave non-decreasing with zero origin on 0..%d", l)
+	}
+	theta := m.Theta()
+	pp := ix.PoolSize()
+	numCands := l * pp
+
+	gainAt := make([]float64, l) // marginal of covering one more piece at count c
+	for c := 0; c < l; c++ {
+		gainAt[c] = model.Adoption(c+1) - model.Adoption(c)
+	}
+	counts := make([]uint8, theta)
+	masks := make([]uint32, theta)
+	taken := make([]bool, numCands)
+	var tauEvals int64
+
+	gainOf := func(cand int) float64 {
+		j := cand / pp
+		bit := uint32(1) << uint(j)
+		g := 0.0
+		for _, i := range ix.Samples(j, int32(cand%pp)) {
+			if masks[i]&bit == 0 {
+				g += gainAt[counts[i]]
+			}
+		}
+		tauEvals++
+		return g
+	}
+
+	plan := make([][]int32, l)
+	total := 0.0
+	for picks := 0; picks < k; picks++ {
+		best, bestGain := -1, 0.0
+		for c := 0; c < numCands; c++ {
+			if taken[c] {
+				continue
+			}
+			if g := gainOf(c); g > bestGain {
+				best, bestGain = c, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		j := best / pp
+		bit := uint32(1) << uint(j)
+		for _, i := range ix.Samples(j, int32(best%pp)) {
+			if masks[i]&bit == 0 {
+				masks[i] |= bit
+				counts[i]++
+			}
+		}
+		total += bestGain
+		plan[j] = append(plan[j], ix.Pool()[best%pp])
+	}
+	return &Result{
+		Plan:     plan,
+		Utility:  total * float64(m.N()) / float64(theta),
+		TauEvals: tauEvals,
+	}, nil
+}
+
+// EstimateAU evaluates a plan's utility under an arbitrary adoption model
+// on the index's samples (the generic counterpart of Index.EstimateAU,
+// which is specialized to the logistic model). Seeds must be pool members.
+func EstimateAU(ix *rrset.Index, plan [][]int32, model AdoptionModel) (float64, error) {
+	m := ix.MRR()
+	l := m.L()
+	if len(plan) != l {
+		return 0, fmt.Errorf("relaxed: plan has %d seed sets for %d pieces", len(plan), l)
+	}
+	counts := make([]uint8, m.Theta())
+	masks := make([]uint32, m.Theta())
+	for j, seeds := range plan {
+		bit := uint32(1) << uint(j)
+		for _, v := range seeds {
+			p, ok := ix.PoolPos(v)
+			if !ok {
+				return 0, fmt.Errorf("relaxed: seed %d not in promoter pool", v)
+			}
+			for _, i := range ix.Samples(j, p) {
+				if masks[i]&bit == 0 {
+					masks[i] |= bit
+					counts[i]++
+				}
+			}
+		}
+	}
+	total := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			total += model.Adoption(int(c))
+		}
+	}
+	return total * float64(m.N()) / float64(m.Theta()), nil
+}
+
+// Brute enumerates every plan of up to k distinct (piece, promoter)
+// assignments and returns the exact optimum of the relaxed objective.
+// Verification only; refuses large instances.
+func Brute(ix *rrset.Index, model AdoptionModel, k int) (*Result, error) {
+	m := ix.MRR()
+	l := m.L()
+	pp := ix.PoolSize()
+	numCands := l * pp
+	if k > numCands {
+		k = numCands
+	}
+	count := 1
+	for i := 0; i < k; i++ {
+		count *= numCands - i
+		if count > 50_000_000 {
+			return nil, fmt.Errorf("relaxed: instance too large for brute force")
+		}
+	}
+	best := &Result{}
+	chosen := make([]int, 0, k)
+	var rec func(start int) error
+	rec = func(s int) error {
+		if len(chosen) == k || s == numCands {
+			plan := make([][]int32, l)
+			for _, c := range chosen {
+				plan[c/pp] = append(plan[c/pp], ix.Pool()[c%pp])
+			}
+			util, err := EstimateAU(ix, plan, model)
+			if err != nil {
+				return err
+			}
+			if util > best.Utility {
+				best.Utility = util
+				best.Plan = plan
+			}
+			return nil
+		}
+		for c := s; c < numCands; c++ {
+			chosen = append(chosen, c)
+			if err := rec(c + 1); err != nil {
+				return err
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if best.Plan == nil {
+		best.Plan = make([][]int32, l)
+	}
+	return best, nil
+}

@@ -1,0 +1,220 @@
+package relaxed
+
+import (
+	"math"
+	"testing"
+
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/rrset"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+// testIndex builds a random MRR index for solver tests.
+func testIndex(t testing.TB, seed uint64, n, m, poolSize, theta int) *rrset.Index {
+	t.Helper()
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n, 2)
+	added := map[[2]int32]bool{}
+	for b.M() < m {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v || added[[2]int32{u, v}] {
+			continue
+		}
+		added[[2]int32{u, v}] = true
+		dense := make([]float64, 2)
+		dense[r.Intn(2)] = 0.2 + 0.5*r.Float64()
+		if err := b.AddEdge(u, v, topic.FromDense(dense)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := [][]float64{
+		g.PieceProbs(topic.SingleTopic(0)),
+		g.PieceProbs(topic.SingleTopic(1)),
+	}
+	mrr, err := rrset.SampleMRR(g, probs, theta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]int32, 0, poolSize)
+	for _, p := range r.Sample(n, poolSize) {
+		pool = append(pool, int32(p))
+	}
+	ix, err := mrr.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestCoverageModelProperties(t *testing.T) {
+	m := CoverageModel{P: 0.3}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Adoption(0) != 0 {
+		t.Fatal("CoverageModel not zero at zero")
+	}
+	if math.Abs(m.Adoption(1)-0.3) > 1e-12 {
+		t.Fatalf("Adoption(1) = %v", m.Adoption(1))
+	}
+	if math.Abs(m.Adoption(2)-0.51) > 1e-12 {
+		t.Fatalf("Adoption(2) = %v", m.Adoption(2))
+	}
+	if !IsTractable(m, 10) {
+		t.Fatal("CoverageModel not tractable")
+	}
+	for _, bad := range []CoverageModel{{P: 0}, {P: -1}, {P: 1.5}, {P: math.NaN()}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("bad model %+v validated", bad)
+		}
+	}
+}
+
+func TestLinearModelProperties(t *testing.T) {
+	m := LinearModel{Slope: 0.4}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Adoption(0) != 0 || m.Adoption(1) != 0.4 || m.Adoption(3) != 1 {
+		t.Fatalf("LinearModel values wrong: %v %v %v", m.Adoption(0), m.Adoption(1), m.Adoption(3))
+	}
+	if !IsTractable(m, 8) {
+		t.Fatal("LinearModel not tractable")
+	}
+	if err := (LinearModel{Slope: 0}).Validate(); err == nil {
+		t.Fatal("zero slope validated")
+	}
+}
+
+func TestLogisticTractabilityBoundary(t *testing.T) {
+	// The paper's point: the logistic model with its convex initial
+	// stretch (α well above β) is not concave, so the relaxation
+	// machinery must reject it.
+	m := logistic.Model{Alpha: 3, Beta: 1}
+	if IsTractable(m, 5) {
+		t.Fatal("logistic model with alpha=3 passed the tractability check")
+	}
+	// But a logistic whose turning point lies before the first piece
+	// (α <= β) *is* concave on integer counts once Eq. (1)'s zero branch
+	// anchors the origin: the first gain Sigmoid(β−α) >= 1/2 dominates
+	// every later gain. OIPA is tractable in that regime — exactly the
+	// kind of relaxation the paper's future work asks for.
+	easy := logistic.Model{Alpha: 0.5, Beta: 1}
+	if !IsTractable(easy, 5) {
+		t.Fatal("logistic model with alpha <= beta should be tractable")
+	}
+}
+
+func TestGreedyMatchesBruteOnTinyInstances(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		ix := testIndex(t, seed, 20, 70, 4, 300)
+		model := CoverageModel{P: 0.35}
+		greedy, err := Greedy(ix, model, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := Brute(ix, model, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Utility < (1-1/math.E)*brute.Utility-1e-9 {
+			t.Fatalf("seed %d: greedy %v below (1-1/e)·OPT (%v)", seed, greedy.Utility, brute.Utility)
+		}
+		if greedy.Utility > brute.Utility+1e-9 {
+			t.Fatalf("seed %d: greedy %v above brute optimum %v", seed, greedy.Utility, brute.Utility)
+		}
+	}
+}
+
+func TestGreedyUtilityMatchesEstimate(t *testing.T) {
+	// The incrementally accumulated utility must equal a from-scratch
+	// evaluation of the returned plan.
+	ix := testIndex(t, 9, 40, 150, 8, 500)
+	model := CoverageModel{P: 0.25}
+	res, err := Greedy(ix, model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := EstimateAU(ix, res.Plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility-check) > 1e-9 {
+		t.Fatalf("greedy utility %v != re-evaluation %v", res.Utility, check)
+	}
+}
+
+func TestGreedyRejectsBadInput(t *testing.T) {
+	ix := testIndex(t, 3, 20, 60, 4, 100)
+	if _, err := Greedy(ix, CoverageModel{P: 0.5}, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := Greedy(ix, logistic.Model{Alpha: 3, Beta: 1}, 2); err == nil {
+		t.Fatal("non-tractable model accepted")
+	}
+}
+
+func TestEstimateAUValidates(t *testing.T) {
+	ix := testIndex(t, 4, 20, 60, 4, 100)
+	if _, err := EstimateAU(ix, [][]int32{{0}}, CoverageModel{P: 0.5}); err == nil {
+		t.Fatal("wrong plan arity accepted")
+	}
+	bad := [][]int32{{ix.Pool()[0]}, {99}}
+	ok := true
+	for _, v := range ix.Pool() {
+		if v == 99 {
+			ok = false
+		}
+	}
+	if ok {
+		if _, err := EstimateAU(ix, bad, CoverageModel{P: 0.5}); err == nil {
+			t.Fatal("non-pool seed accepted")
+		}
+	}
+}
+
+func TestRelaxedPlanUnderTrueLogistic(t *testing.T) {
+	// Cross-evaluation: the tractable relaxation's plan, scored under the
+	// true logistic objective, should be competitive with the plan that
+	// optimizes a piece-count-agnostic coverage (sanity: not catastrophic,
+	// at least half of the greedy-on-logistic-hull value). This mirrors
+	// how the paper envisions using a tractable surrogate.
+	ix := testIndex(t, 13, 60, 250, 10, 1000)
+	logisticModel := logistic.Model{Alpha: 2, Beta: 1}
+	res, err := Greedy(ix, CoverageModel{P: 0.3}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	underTrue, err := ix.EstimateAU(res.Plan, logisticModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if underTrue <= 0 {
+		t.Fatalf("relaxed plan scores %v under the logistic objective", underTrue)
+	}
+	// A plan optimized directly for a *single* piece (TIM-like) must not
+	// dominate the relaxed multi-piece plan under the logistic objective.
+	single := [][]int32{nil, nil}
+	single[0] = res.Plan[0]
+	underSingle, err := ix.EstimateAU(single, logisticModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if underTrue < underSingle {
+		t.Fatalf("multi-piece relaxed plan (%v) lost to its own single-piece projection (%v)",
+			underTrue, underSingle)
+	}
+}
+
+func TestBruteRefusesLargeInstances(t *testing.T) {
+	ix := testIndex(t, 17, 100, 400, 40, 200)
+	if _, err := Brute(ix, CoverageModel{P: 0.5}, 10); err == nil {
+		t.Fatal("oversized brute accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package rrset
+
+import (
+	"fmt"
+
+	"oipa/internal/logistic"
+)
+
+// Index is the inverted view of an MRRCollection restricted to a promoter
+// pool: for every (piece j, promoter v) it lists the samples i whose RR
+// set R_i^j contains v. The branch-and-bound solvers spend nearly all
+// their time walking these lists, so they are stored as one CSR block.
+//
+// Pool positions (dense indices into the pool slice) identify promoters
+// throughout the solver hot paths; PoolPos translates node ids.
+type Index struct {
+	mrr  *MRRCollection
+	pool []int32
+	pos  []int32 // node id -> pool position, -1 if not in pool
+
+	// CSR over (piece, pool position): lists of sample indices.
+	off     []int64
+	samples []int32
+}
+
+// BuildIndex inverts the collection over the given promoter pool. The
+// pool must be non-empty and duplicate-free.
+func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("rrset: empty promoter pool")
+	}
+	ix := &Index{mrr: m, pool: append([]int32(nil), pool...), pos: make([]int32, m.g.N())}
+	for i := range ix.pos {
+		ix.pos[i] = -1
+	}
+	for p, v := range ix.pool {
+		if v < 0 || int(v) >= m.g.N() {
+			return nil, fmt.Errorf("rrset: pool member %d outside graph", v)
+		}
+		if ix.pos[v] >= 0 {
+			return nil, fmt.Errorf("rrset: duplicate pool member %d", v)
+		}
+		ix.pos[v] = int32(p)
+	}
+
+	l, theta, pp := m.l, m.Theta(), len(pool)
+	counts := make([]int64, l*pp+1)
+	for i := 0; i < theta; i++ {
+		for j := 0; j < l; j++ {
+			for _, v := range m.Set(i, j) {
+				if p := ix.pos[v]; p >= 0 {
+					counts[j*pp+int(p)+1]++
+				}
+			}
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	ix.off = counts
+	ix.samples = make([]int32, ix.off[len(ix.off)-1])
+	cursor := make([]int64, l*pp)
+	for i := 0; i < theta; i++ {
+		for j := 0; j < l; j++ {
+			for _, v := range m.Set(i, j) {
+				if p := ix.pos[v]; p >= 0 {
+					slot := j*pp + int(p)
+					ix.samples[ix.off[slot]+cursor[slot]] = int32(i)
+					cursor[slot]++
+				}
+			}
+		}
+	}
+	return ix, nil
+}
+
+// MRR returns the underlying collection.
+func (ix *Index) MRR() *MRRCollection { return ix.mrr }
+
+// Pool returns the promoter pool (do not modify).
+func (ix *Index) Pool() []int32 { return ix.pool }
+
+// PoolSize returns the number of eligible promoters.
+func (ix *Index) PoolSize() int { return len(ix.pool) }
+
+// PoolPos returns the dense pool position of node v, or false if v is not
+// an eligible promoter (including ids outside the graph).
+func (ix *Index) PoolPos(v int32) (int32, bool) {
+	if v < 0 || int(v) >= len(ix.pos) {
+		return -1, false
+	}
+	p := ix.pos[v]
+	return p, p >= 0
+}
+
+// Samples returns the sample indices whose RR set for piece j contains
+// the promoter at pool position p (aliases internal storage).
+func (ix *Index) Samples(j int, p int32) []int32 {
+	slot := j*len(ix.pool) + int(p)
+	return ix.samples[ix.off[slot]:ix.off[slot+1]]
+}
+
+// Degree returns len(Samples(j, p)) without materializing the slice.
+func (ix *Index) Degree(j int, p int32) int {
+	slot := j*len(ix.pool) + int(p)
+	return int(ix.off[slot+1] - ix.off[slot])
+}
+
+// EstimateAU estimates σ(S̄) through the index: every seed must be a pool
+// member. Cost is proportional to the seeds' total inverted-list length
+// rather than the full collection size.
+func (ix *Index) EstimateAU(plan [][]int32, model logistic.Model) (float64, error) {
+	m := ix.mrr
+	if len(plan) != m.l {
+		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
+	}
+	if err := model.Validate(); err != nil {
+		return 0, err
+	}
+	adoptAt := make([]float64, m.l+1)
+	for c := 1; c <= m.l; c++ {
+		adoptAt[c] = model.Adoption(c)
+	}
+	// covered[i] tracks per-sample piece coverage; the piece bit guard
+	// lives in pieceSeen to avoid double counting a piece covered by two
+	// of its seeds.
+	counts := make([]uint8, m.Theta())
+	pieceSeen := make([]int32, m.Theta()) // sample -> last piece marked (+1), reset per piece via epoch trick
+	total := 0.0
+	for j, seeds := range plan {
+		for _, v := range seeds {
+			p, ok := ix.PoolPos(v)
+			if !ok {
+				return 0, fmt.Errorf("rrset: seed %d not in promoter pool", v)
+			}
+			for _, i := range ix.Samples(j, p) {
+				if pieceSeen[i] == int32(j)+1 {
+					continue // piece j already covered at sample i
+				}
+				pieceSeen[i] = int32(j) + 1
+				counts[i]++
+				total += adoptAt[counts[i]] - adoptAt[counts[i]-1]
+			}
+		}
+	}
+	return float64(m.g.N()) * total / float64(m.Theta()), nil
+}

@@ -1,0 +1,184 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oipa/internal/xrand"
+)
+
+func TestBuildIndexValidates(t *testing.T) {
+	g, probs := paperExample(t)
+	m, err := SampleMRR(g, probs, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BuildIndex(nil); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := m.BuildIndex([]int32{0, 0}); err == nil {
+		t.Fatal("duplicate pool member accepted")
+	}
+	if _, err := m.BuildIndex([]int32{0, 99}); err == nil {
+		t.Fatal("out-of-range pool member accepted")
+	}
+}
+
+func TestIndexMatchesDirectMembership(t *testing.T) {
+	// Property: Samples(j, p) lists exactly the samples whose RR set
+	// contains pool[p].
+	g, probs := randomTestGraph(t, 12, 40, 150)
+	m, err := SampleMRR(g, probs, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []int32{0, 3, 7, 11, 19, 23, 31, 39}
+	ix, err := m.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.PoolSize() != len(pool) {
+		t.Fatalf("pool size %d", ix.PoolSize())
+	}
+	for j := 0; j < m.L(); j++ {
+		for p, v := range pool {
+			want := map[int32]bool{}
+			for i := 0; i < m.Theta(); i++ {
+				for _, u := range m.Set(i, j) {
+					if u == v {
+						want[int32(i)] = true
+						break
+					}
+				}
+			}
+			got := ix.Samples(j, int32(p))
+			if len(got) != len(want) {
+				t.Fatalf("piece %d promoter %d: %d samples, want %d", j, v, len(got), len(want))
+			}
+			if ix.Degree(j, int32(p)) != len(got) {
+				t.Fatalf("Degree disagrees with Samples length")
+			}
+			for _, i := range got {
+				if !want[i] {
+					t.Fatalf("piece %d promoter %d: unexpected sample %d", j, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolPos(t *testing.T) {
+	g, probs := paperExample(t)
+	m, _ := SampleMRR(g, probs, 10, 1)
+	ix, err := m.BuildIndex([]int32{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := ix.PoolPos(4); !ok || p != 0 {
+		t.Fatalf("PoolPos(4) = %d,%v", p, ok)
+	}
+	if p, ok := ix.PoolPos(2); !ok || p != 1 {
+		t.Fatalf("PoolPos(2) = %d,%v", p, ok)
+	}
+	if _, ok := ix.PoolPos(0); ok {
+		t.Fatal("PoolPos(0) found for non-member")
+	}
+}
+
+func TestIndexEstimateAUMatchesScan(t *testing.T) {
+	// Property: for random plans drawn from the pool, the index-based AU
+	// estimator equals the scan-based one exactly.
+	g, probs := randomTestGraph(t, 13, 50, 200)
+	m, err := SampleMRR(g, probs, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []int32{1, 4, 9, 16, 25, 36, 49, 8, 27}
+	ix, err := m.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		plan := make([][]int32, m.L())
+		for j := range plan {
+			k := r.Intn(4)
+			for _, p := range r.Sample(len(pool), k) {
+				plan[j] = append(plan[j], pool[p])
+			}
+		}
+		scan, err := m.EstimateAUScan(plan, paperModel)
+		if err != nil {
+			return false
+		}
+		indexed, err := ix.EstimateAU(plan, paperModel)
+		if err != nil {
+			return false
+		}
+		return math.Abs(scan-indexed) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexEstimateAUDuplicateSeedsHarmless(t *testing.T) {
+	// Seeding the same promoter twice for one piece must not double-count
+	// coverage.
+	g, probs := paperExample(t)
+	m, err := SampleMRRWithRoots(g, probs, []int32{2, 0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := m.BuildIndex([]int32{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := ix.EstimateAU([][]int32{{0}, {4}}, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := ix.EstimateAU([][]int32{{0, 0}, {4, 4}}, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(once-twice) > 1e-12 {
+		t.Fatalf("duplicate seeds changed the estimate: %v vs %v", once, twice)
+	}
+}
+
+func TestIndexEstimateAURejectsNonPoolSeed(t *testing.T) {
+	g, probs := paperExample(t)
+	m, _ := SampleMRR(g, probs, 10, 1)
+	ix, err := m.BuildIndex([]int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.EstimateAU([][]int32{{4}, nil}, paperModel); err == nil {
+		t.Fatal("non-pool seed accepted")
+	}
+}
+
+func BenchmarkIndexEstimateAU(b *testing.B) {
+	g, probs := randomTestGraph(b, 3, 2000, 10000)
+	m, err := SampleMRR(g, probs, 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := make([]int32, 200)
+	for i := range pool {
+		pool[i] = int32(i * 10)
+	}
+	ix, err := m.BuildIndex(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := [][]int32{{0, 100, 500}, {1000, 1500}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.EstimateAU(plan, paperModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

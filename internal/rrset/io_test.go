@@ -1,0 +1,140 @@
+package rrset
+
+import (
+	"bytes"
+	"testing"
+
+	"oipa/internal/graph"
+	"oipa/internal/topic"
+)
+
+func TestMRRSerializationRoundTrip(t *testing.T) {
+	g, probs := randomTestGraph(t, 15, 50, 200)
+	m, err := SampleMRR(g, probs, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMRR(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Theta() != m.Theta() || back.L() != m.L() || back.TotalSize() != m.TotalSize() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := 0; i < m.Theta(); i++ {
+		if back.Root(i) != m.Root(i) {
+			t.Fatalf("root %d differs", i)
+		}
+		for j := 0; j < m.L(); j++ {
+			a, b := m.Set(i, j), back.Set(i, j)
+			if len(a) != len(b) {
+				t.Fatalf("set (%d,%d) sizes differ", i, j)
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("set (%d,%d) content differs", i, j)
+				}
+			}
+		}
+	}
+	// Estimates agree exactly.
+	plan := [][]int32{{1}, {4}}
+	ua, err := m.EstimateAUScan(plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := back.EstimateAUScan(plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua != ub {
+		t.Fatalf("estimates differ after round trip: %v vs %v", ua, ub)
+	}
+}
+
+func TestReadMRRRejectsWrongGraph(t *testing.T) {
+	g, probs := randomTestGraph(t, 16, 40, 150)
+	m, err := SampleMRR(g, probs, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := randomTestGraph(t, 17, 41, 150)
+	if _, err := ReadMRR(&buf, other); err != ErrGraphMismatch {
+		t.Fatalf("wrong graph accepted (err=%v)", err)
+	}
+}
+
+func TestReadMRRRejectsGarbage(t *testing.T) {
+	g, _ := paperExample(t)
+	if _, err := ReadMRR(bytes.NewReader([]byte("garbage")), g); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadMRR(bytes.NewReader(mrrMagic[:]), g); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadMRRRejectsCorruptBody(t *testing.T) {
+	g, probs := paperExample(t)
+	m, err := SampleMRR(g, probs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt a root to an out-of-range id.
+	copy(data[36:40], []byte{0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadMRR(bytes.NewReader(data), g); err == nil {
+		t.Fatal("corrupt root accepted")
+	}
+	// Truncate the node section.
+	var buf2 bytes.Buffer
+	if err := m.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	short := buf2.Bytes()[:buf2.Len()-3]
+	if _, err := ReadMRR(bytes.NewReader(short), g); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestMRRSaveLoadFile(t *testing.T) {
+	b := graph.NewBuilder(3, 1)
+	if err := b.AddEdge(0, 1, topic.SingleTopic(0)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := [][]float64{g.PieceProbs(topic.SingleTopic(0))}
+	m, err := SampleMRR(g, probs, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/samples.mrr"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMRR(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Theta() != 20 {
+		t.Fatalf("loaded theta %d", back.Theta())
+	}
+	if _, err := LoadMRR(path+".missing", g); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,370 @@
+// Package rrset implements reverse-reachable (RR) set sampling — the
+// estimation machinery behind both the paper's baselines and its core
+// algorithms (§V-A).
+//
+// A random RR set is built by (i) choosing a root node uniformly at
+// random and (ii) sampling a deterministic subgraph by keeping each edge
+// e with its activation probability p(e); the RR set is every node that
+// reaches the root in the sampled subgraph (found by reverse BFS that
+// flips each in-edge's coin on first touch). The fraction of RR sets hit
+// by a seed set S estimates σ_im(S)/n (Borgs et al. 2014).
+//
+// The paper extends this to Multi-RR (MRR) sets: one root is drawn per
+// sample, and ℓ RR sets are grown from it — one per viral piece, each
+// under that piece's own edge probabilities. An assignment plan covers
+// piece j of sample i when S_j intersects R_i^j, and the adoption utility
+// estimator (Eq. 6, with Eq. 1's zero-when-uncovered semantics) plugs the
+// per-sample coverage counts into the logistic model.
+//
+// Sampling is parallel and deterministic: sample i derives its RNG stream
+// from (seed, i), so any worker schedule produces bit-identical sets.
+package rrset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"oipa/internal/bitset"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/xrand"
+)
+
+// sampler holds the per-goroutine reverse-BFS scratch state.
+type sampler struct {
+	g       *graph.Graph
+	visited *bitset.Stamp
+	queue   []int32
+}
+
+func newSampler(g *graph.Graph) *sampler {
+	return &sampler{g: g, visited: bitset.NewStamp(g.N()), queue: make([]int32, 0, 256)}
+}
+
+// sample grows the RR set of root under the given edge probabilities and
+// appends its nodes (including the root) to out.
+func (s *sampler) sample(root int32, probs []float64, rng *xrand.SplitMix64, out []int32) []int32 {
+	s.visited.Reset()
+	s.queue = s.queue[:0]
+	s.visited.Mark(int(root))
+	s.queue = append(s.queue, root)
+	out = append(out, root)
+	for head := 0; head < len(s.queue); head++ {
+		v := s.queue[head]
+		froms, eids := s.g.InNeighbors(v)
+		for i, u := range froms {
+			if s.visited.Marked(int(u)) {
+				continue
+			}
+			p := probs[eids[i]]
+			if p <= 0 {
+				continue
+			}
+			if p < 1 && rng.Float64() >= p {
+				continue
+			}
+			s.visited.Mark(int(u))
+			s.queue = append(s.queue, u)
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Collection is a growable set of single-piece RR sets with flattened
+// storage. It serves the IM baselines; OIPA uses MRRCollection.
+type Collection struct {
+	g       *graph.Graph
+	probs   []float64
+	seed    uint64
+	offsets []int64
+	nodes   []int32
+	roots   []int32
+}
+
+// NewCollection returns an empty collection bound to a graph, a per-edge
+// probability vector and a base seed.
+func NewCollection(g *graph.Graph, probs []float64, seed uint64) (*Collection, error) {
+	if len(probs) != g.M() {
+		return nil, fmt.Errorf("rrset: %d probabilities for %d edges", len(probs), g.M())
+	}
+	return &Collection{g: g, probs: probs, seed: seed, offsets: []int64{0}}, nil
+}
+
+// Theta returns the number of sampled RR sets.
+func (c *Collection) Theta() int { return len(c.roots) }
+
+// N returns the underlying graph's vertex count.
+func (c *Collection) N() int { return c.g.N() }
+
+// Set returns the i-th RR set (aliases internal storage).
+func (c *Collection) Set(i int) []int32 { return c.nodes[c.offsets[i]:c.offsets[i+1]] }
+
+// Root returns the root of the i-th RR set.
+func (c *Collection) Root(i int) int32 { return c.roots[i] }
+
+// TotalSize returns the summed cardinality of all RR sets.
+func (c *Collection) TotalSize() int { return len(c.nodes) }
+
+// ExtendTo grows the collection to theta RR sets. Samples are generated in
+// parallel chunks but indexed deterministically: set i is always the same
+// for a given (graph, probs, seed), regardless of when or where it was
+// generated.
+func (c *Collection) ExtendTo(theta int) {
+	start := c.Theta()
+	if theta <= start {
+		return
+	}
+	type chunk struct {
+		offsets []int64 // relative
+		nodes   []int32
+		roots   []int32
+	}
+	count := theta - start
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	chunkSize := (count + workers - 1) / workers
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := start + w*chunkSize
+		hi := lo + chunkSize
+		if hi > theta {
+			hi = theta
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSampler(c.g)
+			ck := chunk{offsets: make([]int64, 0, hi-lo+1)}
+			ck.offsets = append(ck.offsets, 0)
+			n := uint64(c.g.N())
+			for i := lo; i < hi; i++ {
+				rng := xrand.Derive(c.seed, uint64(i))
+				root := int32(rng.Uint64n(n))
+				ck.roots = append(ck.roots, root)
+				ck.nodes = s.sample(root, c.probs, rng, ck.nodes)
+				ck.offsets = append(ck.offsets, int64(len(ck.nodes)))
+			}
+			chunks[w] = ck
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, ck := range chunks {
+		if len(ck.offsets) == 0 {
+			continue // worker received an empty range
+		}
+		base := int64(len(c.nodes))
+		for _, off := range ck.offsets[1:] {
+			c.offsets = append(c.offsets, base+off)
+		}
+		c.nodes = append(c.nodes, ck.nodes...)
+		c.roots = append(c.roots, ck.roots...)
+	}
+}
+
+// Coverage returns the number of RR sets intersected by seeds (linear
+// scan; the IM baselines use incremental coverage instead).
+func (c *Collection) Coverage(seeds []int32) int {
+	inSeed := make(map[int32]bool, len(seeds))
+	for _, v := range seeds {
+		inSeed[v] = true
+	}
+	covered := 0
+	for i := 0; i < c.Theta(); i++ {
+		for _, v := range c.Set(i) {
+			if inSeed[v] {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// EstimateSpread estimates σ_im(seeds) = n · coverage / θ.
+func (c *Collection) EstimateSpread(seeds []int32) float64 {
+	if c.Theta() == 0 {
+		return 0
+	}
+	return float64(c.g.N()) * float64(c.Coverage(seeds)) / float64(c.Theta())
+}
+
+// MRRCollection holds θ multi-RR samples over ℓ pieces: sample i consists
+// of a root and one RR set per piece, stored flattened at index i·ℓ+j.
+type MRRCollection struct {
+	g       *graph.Graph
+	l       int
+	seed    uint64
+	roots   []int32
+	offsets []int64
+	nodes   []int32
+}
+
+// SampleMRR draws theta multi-RR samples. pieceProbs[j] holds the per-edge
+// probabilities of piece j (from graph.PieceProbs). Parallel and
+// deterministic in the same sense as Collection.ExtendTo.
+func SampleMRR(g *graph.Graph, pieceProbs [][]float64, theta int, seed uint64) (*MRRCollection, error) {
+	l := len(pieceProbs)
+	if l == 0 {
+		return nil, fmt.Errorf("rrset: no pieces")
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("rrset: non-positive theta %d", theta)
+	}
+	for j, probs := range pieceProbs {
+		if len(probs) != g.M() {
+			return nil, fmt.Errorf("rrset: piece %d has %d probabilities for %d edges", j, len(probs), g.M())
+		}
+	}
+	roots := make([]int32, theta)
+	for i := range roots {
+		rng := xrand.Derive(seed, uint64(i))
+		roots[i] = int32(rng.Uint64n(uint64(g.N())))
+	}
+	m := &MRRCollection{g: g, l: l, seed: seed, roots: roots}
+	m.sampleInto(pieceProbs, theta)
+	return m, nil
+}
+
+// SampleMRRWithRoots draws one multi-RR sample per provided root. It
+// exists for golden tests (such as the paper's Table II example) and for
+// replaying specific scenarios; production sampling uses SampleMRR.
+func SampleMRRWithRoots(g *graph.Graph, pieceProbs [][]float64, roots []int32, seed uint64) (*MRRCollection, error) {
+	l := len(pieceProbs)
+	if l == 0 {
+		return nil, fmt.Errorf("rrset: no pieces")
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("rrset: no roots")
+	}
+	for _, r := range roots {
+		if r < 0 || int(r) >= g.N() {
+			return nil, fmt.Errorf("rrset: root %d outside graph", r)
+		}
+	}
+	m := &MRRCollection{g: g, l: l, seed: seed, roots: append([]int32(nil), roots...)}
+	m.sampleInto(pieceProbs, len(roots))
+	return m, nil
+}
+
+// sampleInto fills offsets/nodes for the first theta roots.
+func (m *MRRCollection) sampleInto(pieceProbs [][]float64, theta int) {
+	type chunk struct {
+		offsets []int64
+		nodes   []int32
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > theta {
+		workers = theta
+	}
+	chunkSize := (theta + workers - 1) / workers
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunkSize
+		hi := lo + chunkSize
+		if hi > theta {
+			hi = theta
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSampler(m.g)
+			ck := chunk{offsets: make([]int64, 0, (hi-lo)*m.l+1)}
+			ck.offsets = append(ck.offsets, 0)
+			n := uint64(m.g.N())
+			for i := lo; i < hi; i++ {
+				// Re-burn the root draw (same call, so the stream position
+				// matches SampleMRR exactly even when Uint64n rejects).
+				rng := xrand.Derive(m.seed, uint64(i))
+				rng.Uint64n(n)
+				for j := 0; j < m.l; j++ {
+					ck.nodes = s.sample(m.roots[i], pieceProbs[j], rng, ck.nodes)
+					ck.offsets = append(ck.offsets, int64(len(ck.nodes)))
+				}
+			}
+			chunks[w] = ck
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	m.offsets = make([]int64, 1, theta*m.l+1)
+	for _, ck := range chunks {
+		if len(ck.offsets) == 0 {
+			continue // worker received an empty range
+		}
+		base := int64(len(m.nodes))
+		for _, off := range ck.offsets[1:] {
+			m.offsets = append(m.offsets, base+off)
+		}
+		m.nodes = append(m.nodes, ck.nodes...)
+	}
+}
+
+// Theta returns the number of multi-RR samples.
+func (m *MRRCollection) Theta() int { return len(m.roots) }
+
+// L returns the number of pieces.
+func (m *MRRCollection) L() int { return m.l }
+
+// N returns the underlying graph's vertex count.
+func (m *MRRCollection) N() int { return m.g.N() }
+
+// Root returns the root of sample i.
+func (m *MRRCollection) Root(i int) int32 { return m.roots[i] }
+
+// Set returns R_i^j, the RR set of sample i for piece j (aliases internal
+// storage).
+func (m *MRRCollection) Set(i, j int) []int32 {
+	idx := i*m.l + j
+	return m.nodes[m.offsets[idx]:m.offsets[idx+1]]
+}
+
+// TotalSize returns the summed cardinality of all RR sets.
+func (m *MRRCollection) TotalSize() int { return len(m.nodes) }
+
+// EstimateAUScan estimates σ(S̄) by scanning every RR set (Eq. 6 with the
+// zero-when-uncovered semantics of Eq. 1). It is O(total RR size) per
+// call; the solvers use the inverted Index instead. Plans may seed any
+// node, not just pool members.
+func (m *MRRCollection) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
+	if len(plan) != m.l {
+		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
+	}
+	if err := model.Validate(); err != nil {
+		return 0, err
+	}
+	seedSets := make([]map[int32]bool, m.l)
+	for j, seeds := range plan {
+		seedSets[j] = make(map[int32]bool, len(seeds))
+		for _, v := range seeds {
+			seedSets[j][v] = true
+		}
+	}
+	total := 0.0
+	for i := 0; i < m.Theta(); i++ {
+		count := 0
+		for j := 0; j < m.l; j++ {
+			if len(seedSets[j]) == 0 {
+				continue
+			}
+			for _, v := range m.Set(i, j) {
+				if seedSets[j][v] {
+					count++
+					break
+				}
+			}
+		}
+		total += model.Adoption(count)
+	}
+	return float64(m.g.N()) * total / float64(m.Theta()), nil
+}

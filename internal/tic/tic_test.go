@@ -1,0 +1,333 @@
+// The test package is external (tic_test) because the recovery tests need
+// internal/gen, which itself imports tic for the ActionLog type — the one
+// situation where a dot-import of the package under test is idiomatic.
+package tic_test
+
+import (
+	"math"
+	"testing"
+
+	"oipa/internal/gen"
+	"oipa/internal/graph"
+	. "oipa/internal/tic"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+// chain builds a two-node graph u -> v with a planted probability p on
+// topic 0 (of z topics).
+func chain(t *testing.T, p float64, z int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(2, z)
+	if err := b.AddEdge(0, 1, topic.Vector{Idx: []int32{0}, Val: []float64{p}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// manualLog constructs a log in which item cascades on a single-edge graph
+// succeed exactly `succ` times out of `trials`, with all items entirely
+// about topic 0.
+func manualLog(succ, trials int) *ActionLog {
+	log := &ActionLog{}
+	for i := 0; i < trials; i++ {
+		log.Items = append(log.Items, topic.SingleTopic(0))
+		log.Actions = append(log.Actions, Action{User: 0, Item: int32(i), Time: 0})
+		if i < succ {
+			log.Actions = append(log.Actions, Action{User: 1, Item: int32(i), Time: 1})
+		}
+	}
+	log.Sort()
+	return log
+}
+
+func TestLearnSingleEdgeFrequency(t *testing.T) {
+	g := chain(t, 0.6, 1)
+	log := manualLog(60, 100)
+	res, err := Learn(g, log, Options{MinTrials: 1e-9, Smoothing: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Probs[0].At(0)
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("learned p = %v, want 0.6 exactly (60/100)", got)
+	}
+}
+
+func TestLearnSmoothingShrinks(t *testing.T) {
+	g := chain(t, 1, 1)
+	log := manualLog(1, 1) // one observation, one success
+	res, err := Learn(g, log, Options{MinTrials: 1e-9, Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Probs[0].At(0)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("smoothed single-observation estimate = %v, want 0.5", got)
+	}
+}
+
+func TestLearnNoEvidenceMeansZero(t *testing.T) {
+	g := chain(t, 0.5, 2)
+	// Log with items about topic 1 only: edge is tried on topic-1 mass but
+	// the estimate for topic 0 must stay empty.
+	log := &ActionLog{
+		Items:   []topic.Vector{topic.SingleTopic(1)},
+		Actions: []Action{{User: 0, Item: 0, Time: 0}},
+	}
+	res, err := Learn(g, log, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probs[0].At(0) != 0 {
+		t.Fatal("learned probability for untried topic")
+	}
+}
+
+func TestLearnSeedGetsNoCredit(t *testing.T) {
+	// If v activates at time 0 it is a seed; the edge u->v must receive no
+	// success credit even when u also activated at time 0.
+	g := chain(t, 0.5, 1)
+	log := &ActionLog{
+		Items: []topic.Vector{topic.SingleTopic(0)},
+		Actions: []Action{
+			{User: 0, Item: 0, Time: 0},
+			{User: 1, Item: 0, Time: 0},
+		},
+	}
+	res, err := Learn(g, log, Options{MinTrials: 1e-9, Smoothing: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Probs[0].At(0); got != 0 {
+		t.Fatalf("seed activation credited: p = %v", got)
+	}
+}
+
+func TestLearnLateActivationNotCredited(t *testing.T) {
+	// v activating two steps after u violates IC timing; no credit, but
+	// the trial still counts (u tried and failed).
+	g := chain(t, 0.5, 1)
+	log := &ActionLog{
+		Items: []topic.Vector{topic.SingleTopic(0)},
+		Actions: []Action{
+			{User: 0, Item: 0, Time: 0},
+			{User: 1, Item: 0, Time: 2},
+		},
+	}
+	res, err := Learn(g, log, Options{MinTrials: 1e-9, Smoothing: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Probs[0].At(0); got != 0 {
+		t.Fatalf("late activation credited: p = %v", got)
+	}
+}
+
+func TestLearnCreditSplitAmongParents(t *testing.T) {
+	// Two parents activated at time 0, child at time 1: each edge gets
+	// half credit over one trial each.
+	b := graph.NewBuilder(3, 1)
+	one := topic.SingleTopic(0)
+	if err := b.AddEdge(0, 2, one); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, one); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &ActionLog{
+		Items: []topic.Vector{topic.SingleTopic(0)},
+		Actions: []Action{
+			{User: 0, Item: 0, Time: 0},
+			{User: 1, Item: 0, Time: 0},
+			{User: 2, Item: 0, Time: 1},
+		},
+	}
+	res, err := Learn(g, log, Options{MinTrials: 1e-9, Smoothing: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for eid := 0; eid < 2; eid++ {
+		if got := res.Probs[eid].At(0); math.Abs(got-0.5) > 1e-12 {
+			t.Fatalf("edge %d credit = %v, want 0.5", eid, got)
+		}
+	}
+}
+
+func TestLearnTopicWeighting(t *testing.T) {
+	// An item with weight 0.75 on topic 0 and 0.25 on topic 1 spreads its
+	// evidence accordingly; with one successful propagation the learned
+	// ratio per topic equals success/trials = 1 for both touched topics,
+	// but the *mass* is split, so MinTrials can filter the weak topic.
+	g := chain(t, 0.5, 2)
+	item := topic.FromDense([]float64{0.75, 0.25})
+	log := &ActionLog{
+		Items: []topic.Vector{item},
+		Actions: []Action{
+			{User: 0, Item: 0, Time: 0},
+			{User: 1, Item: 0, Time: 1},
+		},
+	}
+	res, err := Learn(g, log, Options{MinTrials: 0.5, Smoothing: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Probs[0].At(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("strong topic estimate = %v, want 1", got)
+	}
+	if got := res.Probs[0].At(1); got != 0 {
+		t.Fatalf("weak topic (below MinTrials) estimate = %v, want 0", got)
+	}
+}
+
+func TestLearnValidates(t *testing.T) {
+	g := chain(t, 0.5, 1)
+	bad := &ActionLog{
+		Items:   []topic.Vector{topic.SingleTopic(0)},
+		Actions: []Action{{User: 99, Item: 0, Time: 0}},
+	}
+	if _, err := Learn(g, bad, DefaultOptions()); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	bad2 := &ActionLog{Actions: []Action{{User: 0, Item: 5, Time: 0}}}
+	if _, err := Learn(g, bad2, DefaultOptions()); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	if _, err := Learn(g, &ActionLog{}, Options{MinTrials: -1}); err == nil {
+		t.Fatal("negative options accepted")
+	}
+}
+
+// recoveryDataset builds a small dataset whose planted probabilities are
+// large enough (≈0.1–0.5) that a few thousand cascades carry real signal;
+// the production presets use weighted-cascade-scale probabilities (~0.03)
+// that would need millions of cascades to resolve statistically.
+func recoveryDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	edges, err := gen.GenerateEdges(gen.TopologyConfig{
+		N: 300, M: 3000, Alpha: 2.4, PrefMix: 0.6, Reciprocal: 0.3,
+	}, xrandNew(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := gen.TopicConfig{
+		Z: 8, UserKeep: 3, EdgeKeep: 2,
+		Concentration: 0.3, ProbScale: 0.45, MaxProb: 0.9,
+	}
+	interests, err := gen.Interests(300, tc, xrandNew(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.AttachTopics(300, edges, interests, tc, xrandNew(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &gen.Dataset{Name: "recovery", G: g, Interests: interests}
+}
+
+func TestLearnRecoversPlantedProbabilities(t *testing.T) {
+	// End-to-end: generate a dataset with planted TIC probabilities,
+	// simulate a large action log, learn, and verify the learned
+	// probabilities correlate strongly with the planted ones on edges
+	// with sufficient evidence.
+	d := recoveryDataset(t)
+	log, err := gen.GenerateActionLog(d, gen.ActionLogConfig{
+		Items: 6000, SeedsPerItem: 8, TopicsPerItem: 2, MaxSteps: 6,
+	}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(res *Result) (float64, int) {
+		var planted, learned []float64
+		for eid := int32(0); int(eid) < d.G.M(); eid++ {
+			truth := d.G.EdgeProb(eid)
+			est := res.Probs[eid]
+			for i, zi := range est.Idx {
+				planted = append(planted, truth.At(zi))
+				learned = append(learned, est.Val[i])
+			}
+		}
+		return pearson(planted, learned), len(planted)
+	}
+	freq, err := Learn(d.G, log, Options{MinTrials: 20, Smoothing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := Learn(d.G, log, Options{MinTrials: 20, Smoothing: 0.5, EMIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFreq, _ := corr(freq)
+	rEM, n := corr(em)
+	if n < 50 {
+		t.Fatalf("too few learned entries (%d) to assess recovery", n)
+	}
+	if rEM < 0.6 {
+		t.Fatalf("planted-vs-learned correlation %v too weak over %d entries (frequency baseline %v)", rEM, n, rFreq)
+	}
+	// EM refinement should not be substantially worse than the plain
+	// frequency estimator.
+	if rEM < rFreq-0.05 {
+		t.Fatalf("EM (%v) degraded the frequency estimate (%v)", rEM, rFreq)
+	}
+}
+
+func TestBuildGraphRoundTrip(t *testing.T) {
+	d, err := gen.LastfmSim(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := gen.GenerateActionLog(d, gen.ActionLogConfig{Items: 100, SeedsPerItem: 4, TopicsPerItem: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Learn(d.G, log, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := res.BuildGraph(d.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != d.G.N() || g2.M() != d.G.M() || g2.Z() != d.G.Z() {
+		t.Fatal("learned graph shape differs")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched input is rejected.
+	small := chain(t, 0.5, d.G.Z())
+	if _, err := res.BuildGraph(small); err == nil {
+		t.Fatal("mismatched topology accepted")
+	}
+}
+
+func xrandNew(seed uint64) *xrand.SplitMix64 { return xrand.New(seed) }
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,127 @@
+package topic
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// vectorJSON is the serialized form of a sparse Vector: a map from topic
+// index to weight, which is the natural way to author distributions by
+// hand.
+type vectorJSON map[string]float64
+
+// MarshalJSON implements json.Marshaler for Vector.
+func (v Vector) MarshalJSON() ([]byte, error) {
+	m := make(vectorJSON, v.NNZ())
+	for i, idx := range v.Idx {
+		m[fmt.Sprintf("%d", idx)] = v.Val[i]
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Vector.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var m vectorJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	dense := map[int32]float64{}
+	maxIdx := int32(-1)
+	for k, val := range m {
+		var idx int32
+		if _, err := fmt.Sscanf(k, "%d", &idx); err != nil {
+			return fmt.Errorf("topic: invalid topic index %q", k)
+		}
+		if idx < 0 {
+			return fmt.Errorf("topic: negative topic index %d", idx)
+		}
+		if val < 0 {
+			return fmt.Errorf("topic: negative weight %v for topic %d", val, idx)
+		}
+		dense[idx] = val
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	full := make([]float64, maxIdx+1)
+	for idx, val := range dense {
+		full[idx] = val
+	}
+	*v = FromDense(full)
+	return nil
+}
+
+// pieceJSON / campaignJSON define the on-disk campaign format:
+//
+//	{
+//	  "name": "election",
+//	  "pieces": [
+//	    {"name": "taxation", "topics": {"3": 0.8, "4": 0.2}},
+//	    {"name": "healthcare", "topics": {"11": 1.0}}
+//	  ]
+//	}
+//
+// Distributions are normalized on load, so authors may use any
+// non-negative weights.
+type pieceJSON struct {
+	Name   string `json:"name"`
+	Topics Vector `json:"topics"`
+}
+
+type campaignJSON struct {
+	Name   string      `json:"name"`
+	Pieces []pieceJSON `json:"pieces"`
+}
+
+// MarshalJSON implements json.Marshaler for Campaign.
+func (c Campaign) MarshalJSON() ([]byte, error) {
+	out := campaignJSON{Name: c.Name, Pieces: make([]pieceJSON, len(c.Pieces))}
+	for i, p := range c.Pieces {
+		out.Pieces[i] = pieceJSON{Name: p.Name, Topics: p.Dist}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Campaign; distributions
+// are normalized to sum to 1.
+func (c *Campaign) UnmarshalJSON(data []byte) error {
+	var in campaignJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	c.Name = in.Name
+	c.Pieces = make([]Piece, len(in.Pieces))
+	for i, p := range in.Pieces {
+		if p.Topics.Sum() == 0 {
+			return fmt.Errorf("topic: piece %q has an empty distribution", p.Name)
+		}
+		c.Pieces[i] = Piece{Name: p.Name, Dist: p.Topics.Normalize()}
+	}
+	return nil
+}
+
+// LoadCampaign reads a campaign spec from a JSON file.
+func LoadCampaign(path string) (Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Campaign{}, err
+	}
+	var c Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Campaign{}, fmt.Errorf("topic: parsing %s: %w", path, err)
+	}
+	if len(c.Pieces) == 0 {
+		return Campaign{}, fmt.Errorf("topic: campaign %s has no pieces", path)
+	}
+	return c, nil
+}
+
+// SaveCampaign writes a campaign spec to a JSON file.
+func SaveCampaign(path string, c Campaign) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,134 @@
+package topic
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestVectorJSONRoundTrip(t *testing.T) {
+	v := FromDense([]float64{0, 0.25, 0, 0.75})
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Vector
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(back) {
+		t.Fatalf("round trip changed vector: %+v -> %+v", v, back)
+	}
+}
+
+func TestVectorJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"x": 0.5}`,  // non-numeric index
+		`{"-1": 0.5}`, // negative index
+		`{"0": -0.5}`, // negative weight
+		`[0.1, 0.2]`,  // wrong shape
+	}
+	for _, c := range cases {
+		var v Vector
+		if err := json.Unmarshal([]byte(c), &v); err == nil {
+			t.Fatalf("input %q accepted", c)
+		}
+	}
+}
+
+func TestCampaignJSONRoundTrip(t *testing.T) {
+	c := Campaign{Name: "election", Pieces: []Piece{
+		{Name: "taxation", Dist: FromDense([]float64{0, 0, 0.8, 0.2})},
+		{Name: "healthcare", Dist: SingleTopic(5)},
+	}}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Campaign
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "election" || len(back.Pieces) != 2 {
+		t.Fatalf("round trip shape: %+v", back)
+	}
+	for i := range c.Pieces {
+		if back.Pieces[i].Name != c.Pieces[i].Name {
+			t.Fatalf("piece %d name %q", i, back.Pieces[i].Name)
+		}
+		if !back.Pieces[i].Dist.Equal(c.Pieces[i].Dist) {
+			t.Fatalf("piece %d distribution changed", i)
+		}
+	}
+}
+
+func TestCampaignJSONNormalizes(t *testing.T) {
+	// Authors may write unnormalized weights; loading normalizes.
+	src := `{"name":"c","pieces":[{"name":"p","topics":{"0": 3, "2": 1}}]}`
+	var c Campaign
+	if err := json.Unmarshal([]byte(src), &c); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Pieces[0].Dist
+	if math.Abs(d.Sum()-1) > 1e-12 {
+		t.Fatalf("distribution sums to %v", d.Sum())
+	}
+	if math.Abs(d.At(0)-0.75) > 1e-12 || math.Abs(d.At(2)-0.25) > 1e-12 {
+		t.Fatalf("normalization wrong: %+v", d)
+	}
+}
+
+func TestCampaignJSONRejectsEmptyPiece(t *testing.T) {
+	src := `{"name":"c","pieces":[{"name":"p","topics":{}}]}`
+	var c Campaign
+	if err := json.Unmarshal([]byte(src), &c); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+}
+
+func TestLoadSaveCampaignFile(t *testing.T) {
+	path := t.TempDir() + "/campaign.json"
+	c := Campaign{Name: "file", Pieces: []Piece{{Name: "p0", Dist: SingleTopic(2)}}}
+	if err := SaveCampaign(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCampaign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "file" || back.Pieces[0].Dist.At(2) != 1 {
+		t.Fatalf("loaded campaign wrong: %+v", back)
+	}
+	if _, err := LoadCampaign(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Empty campaign file rejected.
+	bad := t.TempDir() + "/bad.json"
+	if err := SaveCampaign(bad, Campaign{Name: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCampaign(bad); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+	// Garbage file rejected.
+	garbage := t.TempDir() + "/garbage.json"
+	if err := os.WriteFile(garbage, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCampaign(garbage); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func TestCampaignJSONOutputReadable(t *testing.T) {
+	c := Campaign{Name: "readable", Pieces: []Piece{{Name: "p", Dist: SingleTopic(0)}}}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"pieces"`) || !strings.Contains(string(data), `"topics"`) {
+		t.Fatalf("unexpected serialization: %s", data)
+	}
+}
