@@ -115,7 +115,7 @@ func main() {
 	}
 
 	if *simulate {
-		mc, err := cascade.EstimateAdoption(g, inst.PieceProbs, res.Plan.Seeds, prob.Model, *simRuns, *seed+4)
+		mc, err := cascade.EstimateAdoptionLayouts(g, inst.Layouts, res.Plan.Seeds, prob.Model, *simRuns, *seed+4)
 		if err != nil {
 			log.Fatal(err)
 		}

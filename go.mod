@@ -1,0 +1,3 @@
+module oipa
+
+go 1.21

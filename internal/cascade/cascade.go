@@ -13,6 +13,7 @@ package cascade
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -22,28 +23,51 @@ import (
 	"oipa/internal/xrand"
 )
 
+// geoSkipMinDeg mirrors the rrset sampler's flip/geometric-skip degree
+// cutoff for uniform-probability nodes.
+const geoSkipMinDeg = 8
+
 // Simulator runs IC cascades over one fixed per-edge probability vector
-// (one viral piece's homogeneous influence graph). It is not safe for
-// concurrent use; create one per goroutine (see EstimateSpread).
+// (one viral piece's homogeneous influence graph), viewed through a
+// graph.PieceLayout: probabilities are read in forward-CSR position
+// order, and nodes whose out-edges share one probability are expanded
+// with geometric-skip jumps — the forward analogue of the RR sampler's
+// hot loop. It is not safe for concurrent use; create one per goroutine
+// (see EstimateSpread).
 type Simulator struct {
 	g       *graph.Graph
-	probs   []float64
+	lay     *graph.PieceLayout
+	outOff  []int64
+	outTo   []int32
 	visited *bitset.Stamp
 	queue   []int32
 }
 
 // NewSimulator returns a simulator for the given graph and per-edge
-// activation probabilities (as produced by graph.PieceProbs).
+// activation probabilities (as produced by graph.PieceProbs). The layout
+// is built once here; callers that already hold one should use
+// NewSimulatorLayout.
 func NewSimulator(g *graph.Graph, probs []float64) (*Simulator, error) {
-	if len(probs) != g.M() {
-		return nil, fmt.Errorf("cascade: %d probabilities for %d edges", len(probs), g.M())
+	lay, err := g.Layout(probs)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: %w", err)
 	}
+	return NewSimulatorLayout(lay), nil
+}
+
+// NewSimulatorLayout returns a simulator over a prebuilt piece layout.
+// The layout is shared, read-only; only the scratch state is per-instance.
+func NewSimulatorLayout(lay *graph.PieceLayout) *Simulator {
+	g := lay.Graph()
+	outOff, outTo := g.OutCSR()
 	return &Simulator{
 		g:       g,
-		probs:   probs,
+		lay:     lay,
+		outOff:  outOff,
+		outTo:   outTo,
 		visited: bitset.NewStamp(g.N()),
 		queue:   make([]int32, 0, 1024),
-	}, nil
+	}
 }
 
 // Run performs one cascade from the seed set and returns the number of
@@ -63,23 +87,87 @@ func (s *Simulator) Run(seeds []int32, rng *xrand.SplitMix64, out *[]int32) int 
 	activated := len(s.queue)
 	for head := 0; head < len(s.queue); head++ {
 		u := s.queue[head]
-		tos, eids := s.g.OutNeighbors(u)
-		for i, v := range tos {
-			if s.visited.Marked(int(v)) {
+		lo, hi := s.outOff[u], s.outOff[u+1]
+		if lo == hi {
+			continue
+		}
+		dist := &s.lay.OutDist[u]
+		switch p := dist.Uniform; {
+		case p == 0:
+			// Every out-edge is dead.
+		case p > 0 && p < 1:
+			if hi-lo <= geoSkipMinDeg {
+				for pos := lo; pos < hi; pos++ {
+					if rng.Float64() >= p {
+						continue
+					}
+					if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
+						s.queue = append(s.queue, v)
+						activated++
+						if out != nil {
+							*out = append(*out, v)
+						}
+					}
+				}
 				continue
 			}
-			p := s.probs[eids[i]]
-			if p <= 0 {
+			// Geometric skip (see the rrset sampler): the first draw
+			// doubles as the all-dead test via the packed QD.
+			u0 := rng.Float64()
+			if u0 <= dist.QD {
 				continue
 			}
-			if p < 1 && rng.Float64() >= p {
+			invLogQ := dist.InvLogQ
+			pos := lo + int64(math.Log(u0)*invLogQ)
+			if pos >= hi {
+				// Rounding guard: see the rrset sampler.
 				continue
 			}
-			s.visited.Mark(int(v))
-			s.queue = append(s.queue, v)
-			activated++
-			if out != nil {
-				*out = append(*out, v)
+			for {
+				if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
+					s.queue = append(s.queue, v)
+					activated++
+					if out != nil {
+						*out = append(*out, v)
+					}
+				}
+				pos++
+				if pos >= hi {
+					break
+				}
+				jump := math.Log(rng.Float64()) * invLogQ
+				if jump >= float64(hi-pos) {
+					break
+				}
+				pos += int64(jump)
+			}
+		case p >= 1:
+			for pos := lo; pos < hi; pos++ {
+				if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
+					s.queue = append(s.queue, v)
+					activated++
+					if out != nil {
+						*out = append(*out, v)
+					}
+				}
+			}
+		default: // mixed probabilities: one flip per live-candidate edge
+			probs := s.lay.OutProbs
+			for pos := lo; pos < hi; pos++ {
+				q := probs[pos]
+				if q <= 0 {
+					continue
+				}
+				if q < 1 && rng.Float64() >= q {
+					continue
+				}
+				if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
+					s.queue = append(s.queue, v)
+					activated++
+					if out != nil {
+						*out = append(*out, v)
+					}
+				}
 			}
 		}
 	}
@@ -94,23 +182,21 @@ func EstimateSpread(g *graph.Graph, probs []float64, seeds []int32, runs int, se
 	if runs <= 0 {
 		return 0, fmt.Errorf("cascade: non-positive run count %d", runs)
 	}
+	lay, err := g.Layout(probs)
+	if err != nil {
+		return 0, fmt.Errorf("cascade: %w", err)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > runs {
 		workers = runs
 	}
 	totals := make([]int64, workers)
 	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sim, err := NewSimulator(g, probs)
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
-			}
+			sim := NewSimulatorLayout(lay)
 			var sum int64
 			for r := w; r < runs; r += workers {
 				rng := xrand.Derive(seed, uint64(r))
@@ -120,9 +206,6 @@ func EstimateSpread(g *graph.Graph, probs []float64, seeds []int32, runs int, se
 		}(w)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
-	}
 	var total int64
 	for _, t := range totals {
 		total += t
@@ -141,12 +224,32 @@ func EstimateSpread(g *graph.Graph, probs []float64, seeds []int32, runs int, se
 // Runs are parallelized and derive their RNG streams from (seed, run,
 // piece), so results are deterministic for a fixed seed.
 func EstimateAdoption(g *graph.Graph, pieceProbs [][]float64, plan [][]int32, model logistic.Model, runs int, seed uint64) (float64, error) {
+	layouts := make([]*graph.PieceLayout, len(pieceProbs))
+	for j, probs := range pieceProbs {
+		lay, err := g.Layout(probs)
+		if err != nil {
+			return 0, fmt.Errorf("cascade: piece %d: %w", j, err)
+		}
+		layouts[j] = lay
+	}
+	return EstimateAdoptionLayouts(g, layouts, plan, model, runs, seed)
+}
+
+// EstimateAdoptionLayouts is EstimateAdoption over prebuilt piece
+// layouts (for example core.Instance.Layouts), skipping the per-call
+// layout construction.
+func EstimateAdoptionLayouts(g *graph.Graph, layouts []*graph.PieceLayout, plan [][]int32, model logistic.Model, runs int, seed uint64) (float64, error) {
 	if runs <= 0 {
 		return 0, fmt.Errorf("cascade: non-positive run count %d", runs)
 	}
-	l := len(pieceProbs)
+	l := len(layouts)
 	if len(plan) != l {
 		return 0, fmt.Errorf("cascade: plan has %d seed sets for %d pieces", len(plan), l)
+	}
+	for j, lay := range layouts {
+		if lay == nil || lay.Graph() != g {
+			return 0, fmt.Errorf("cascade: piece %d layout not built for this graph", j)
+		}
 	}
 	if err := model.Validate(); err != nil {
 		return 0, err
@@ -162,20 +265,13 @@ func EstimateAdoption(g *graph.Graph, pieceProbs [][]float64, plan [][]int32, mo
 	}
 	totals := make([]float64, workers)
 	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			sims := make([]*Simulator, l)
 			for j := range sims {
-				var err error
-				sims[j], err = NewSimulator(g, pieceProbs[j])
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
+				sims[j] = NewSimulatorLayout(layouts[j])
 			}
 			counts := bitset.NewCounter(g.N())
 			activated := make([]int32, 0, 1024)
@@ -201,9 +297,6 @@ func EstimateAdoption(g *graph.Graph, pieceProbs [][]float64, plan [][]int32, mo
 		}(w)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
-	}
 	var total float64
 	for _, t := range totals {
 		total += t

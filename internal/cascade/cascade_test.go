@@ -337,3 +337,61 @@ func benchGraph(b *testing.B) (*graph.Graph, []float64) {
 	}
 	return g, g.PieceProbs(topic.SingleTopic(0))
 }
+
+// TestForwardGeoSkipMatchesFlip cross-checks the simulator's two
+// expansion strategies: on a graph whose out-edges are uniform per node
+// (so every node takes the geometric-skip path), spread estimates must
+// match a simulator whose layout has uniformity detection defeated (the
+// per-edge-flip reference).
+func TestForwardGeoSkipMatchesFlip(t *testing.T) {
+	r := xrand.New(3)
+	const n = 500
+	b := graph.NewBuilder(n, 1)
+	// Assign each source one fixed fractional probability for all of its
+	// out-edges, so every out-range is uniform.
+	for u := int32(0); u < n; u++ {
+		p := 0.02 + 0.1*r.Float64()
+		deg := 10 + r.Intn(10)
+		seen := map[int32]bool{}
+		for d := 0; d < deg; d++ {
+			v := int32(r.Intn(n))
+			if v == u || seen[v] {
+				continue
+			}
+			seen[v] = true
+			if err := b.AddEdge(u, v, topic.FromDense([]float64{p})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := g.PieceProbs(topic.SingleTopic(0))
+	lay, err := g.Layout(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipLay := &graph.PieceLayout{}
+	*flipLay = *lay
+	flipLay.OutDist = append([]graph.NodeDist(nil), lay.OutDist...)
+	for v := range flipLay.OutDist {
+		flipLay.OutDist[v] = graph.NodeDist{Uniform: -1}
+	}
+	seeds := []int32{0, 7, 99}
+	const runs = 60000
+	run := func(lay *graph.PieceLayout, seed uint64) float64 {
+		sim := NewSimulatorLayout(lay)
+		total := 0
+		for r := 0; r < runs; r++ {
+			total += sim.Run(seeds, xrand.Derive(seed, uint64(r)), nil)
+		}
+		return float64(total) / runs
+	}
+	geo := run(lay, 77)
+	flip := run(flipLay, 78)
+	if tol := 0.05*flip + 0.3; math.Abs(geo-flip) > tol {
+		t.Fatalf("forward spread: geoskip %.3f vs flip %.3f", geo, flip)
+	}
+}

@@ -28,10 +28,11 @@ func SolveIM(inst *Instance, seed uint64) (*Result, error) {
 		uniform[i] = 1 / float64(z)
 	}
 	probs := g.PieceProbs(topic.FromDense(uniform))
-	col, err := rrset.NewCollection(g, probs, seed)
+	lay, err := g.Layout(probs)
 	if err != nil {
 		return nil, err
 	}
+	col := rrset.NewCollectionLayout(lay, seed)
 	col.ExtendTo(inst.MRR.Theta())
 	cover, err := im.GreedyCover(col, inst.Problem.Pool, inst.Problem.K)
 	if err != nil {

@@ -167,9 +167,14 @@ func (p Plan) Has(j int, v int32) bool {
 type Instance struct {
 	Problem    *Problem
 	PieceProbs [][]float64
-	MRR        *rrset.MRRCollection
-	Index      *rrset.Index
-	Bounds     *logistic.BoundTable
+	// Layouts[j] is piece j's probabilities materialized in traversal
+	// order (see graph.PieceLayout). Sampling consumes them at Prepare
+	// time; cascade.EstimateAdoptionLayouts reuses them for forward
+	// validation, and parameter sweeps (WithK/WithModel) share them.
+	Layouts []*graph.PieceLayout
+	MRR     *rrset.MRRCollection
+	Index   *rrset.Index
+	Bounds  *logistic.BoundTable
 
 	// SampleTime is how long MRR sampling took; the paper reports it
 	// separately (Table III) and excludes it from solver comparisons.
@@ -191,11 +196,17 @@ func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
 		return nil, fmt.Errorf("core: %d pieces exceed the %d-piece limit", l, maxPieces)
 	}
 	pieceProbs := make([][]float64, l)
+	layouts := make([]*graph.PieceLayout, l)
 	for j, piece := range p.Campaign.Pieces {
 		pieceProbs[j] = p.G.PieceProbs(piece.Dist)
+		lay, err := p.G.Layout(pieceProbs[j])
+		if err != nil {
+			return nil, err
+		}
+		layouts[j] = lay
 	}
 	start := time.Now()
-	mrr, err := rrset.SampleMRR(p.G, pieceProbs, theta, seed)
+	mrr, err := rrset.SampleMRRLayouts(p.G, layouts, theta, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +222,7 @@ func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
 	return &Instance{
 		Problem:    p,
 		PieceProbs: pieceProbs,
+		Layouts:    layouts,
 		MRR:        mrr,
 		Index:      ix,
 		Bounds:     bounds,

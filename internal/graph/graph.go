@@ -9,6 +9,12 @@
 // directions: forward adjacency drives the Monte-Carlo cascade simulator
 // and reverse adjacency drives reverse-reachable set sampling. Nodes are
 // dense int32 identifiers in [0, N).
+//
+// For sampling hot paths, PieceLayout (layout.go) materializes one
+// piece's activation probabilities in CSR position order for both
+// directions and precomputes per-node uniformity metadata, enabling
+// sequential probability reads and geometric-skip edge sampling in the
+// rrset and cascade packages.
 package graph
 
 import (

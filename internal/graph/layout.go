@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeDist summarizes the probability distribution across one node's CSR
+// edge range (in-edges for reverse traversal, out-edges for forward). The
+// three fields are packed together so a sampler touching a node pays one
+// cache line for all of its dispatch metadata.
+type NodeDist struct {
+	// Uniform is the probability shared by every edge in the range when
+	// they are all equal, -1 when the range is mixed, and 0 when the
+	// range is empty (nothing to scan either way).
+	Uniform float64
+	// InvLogQ caches 1/ln(1-Uniform) for Uniform ∈ (0,1): a
+	// geometric-skip sampler multiplies ln(U) by this value to jump
+	// straight to the next live edge. 0 elsewhere.
+	InvLogQ float64
+	// QD caches (1-Uniform)^degree for Uniform ∈ (0,1): the probability
+	// that every edge in the range is dead. Samplers compare one uniform
+	// draw U against it — U ≤ QD is exactly the event
+	// ⌊ln U/ln(1-Uniform)⌋ ≥ degree — to dispose of the whole scan
+	// without a math.Log call in the common no-live-edge case. 0
+	// elsewhere.
+	QD float64
+}
+
+// PieceLayout is one viral piece's activation probabilities materialized
+// in traversal order, plus the per-node uniformity metadata that enables
+// geometric-skip sampling (SUBSIM-style).
+//
+// The generic representation — a probability per edge id — forces the
+// samplers' hot loops through a random-access indirection
+// (probs[edgeIDs[i]]) for every edge they scan. A layout instead stores
+// the probabilities in CSR position order for both directions, so a
+// reverse BFS (RR-set sampling) or forward BFS (cascade simulation) reads
+// them sequentially. It also records, per node, whether all of the node's
+// in-edges (resp. out-edges) carry one common probability — the
+// weighted-cascade case, where p = 1/in-degree — which lets samplers draw
+// the index of the next live edge with a single geometric jump instead of
+// one coin flip per edge.
+//
+// Layouts are immutable after construction and safe for concurrent use.
+type PieceLayout struct {
+	g *Graph
+
+	// InProbs holds the probabilities in reverse-CSR position order: the
+	// in-edge of v at position pos ∈ [inOff[v], inOff[v+1]) — i.e. the
+	// pos-th entry of the arrays returned by Graph.InCSR — has activation
+	// probability InProbs[pos].
+	InProbs []float64
+
+	// OutProbs holds the probabilities in forward-CSR position order
+	// (which coincides with edge-id order for graphs built by Builder,
+	// but is constructed independently of that invariant).
+	OutProbs []float64
+
+	// InDist[v] describes v's in-edge range; the RR samplers dispatch on
+	// it per visited node.
+	InDist []NodeDist
+
+	// OutDist[v] describes v's out-edge range; the cascade simulator's
+	// forward analogue.
+	OutDist []NodeDist
+}
+
+// Graph returns the graph the layout was built for.
+func (l *PieceLayout) Graph() *Graph { return l.g }
+
+// InCSR exposes the reverse-CSR arrays: the in-neighbors of v are
+// from[off[v]:off[v+1]]. The slices alias internal storage and must not
+// be modified; they exist so sampling hot loops can iterate positions
+// without per-node accessor calls.
+func (g *Graph) InCSR() (off []int64, from []int32) { return g.inOff, g.inFrom }
+
+// OutCSR exposes the forward-CSR arrays: the out-neighbors of u are
+// to[off[u]:off[u+1]]. Same aliasing caveat as InCSR.
+func (g *Graph) OutCSR() (off []int64, to []int32) { return g.outOff, g.outTo }
+
+// Layout builds the PieceLayout of a per-edge probability vector (as
+// produced by PieceProbs). Cost is O(n + m); solvers build one layout per
+// piece and reuse it across every sample.
+func (g *Graph) Layout(probs []float64) (*PieceLayout, error) {
+	if len(probs) != g.M() {
+		return nil, fmt.Errorf("graph: %d probabilities for %d edges", len(probs), g.M())
+	}
+	n := g.N()
+	l := &PieceLayout{
+		g:        g,
+		InProbs:  make([]float64, len(probs)),
+		OutProbs: make([]float64, len(probs)),
+		InDist:   make([]NodeDist, n),
+		OutDist:  make([]NodeDist, n),
+	}
+	for pos, eid := range g.inEdge {
+		l.InProbs[pos] = probs[eid]
+	}
+	for pos, eid := range g.outEdge {
+		l.OutProbs[pos] = probs[eid]
+	}
+	uniformScan(g.inOff, l.InProbs, l.InDist)
+	uniformScan(g.outOff, l.OutProbs, l.OutDist)
+	return l, nil
+}
+
+// uniformScan fills dist[v] from v's CSR probability range: the common
+// probability when all entries are equal (-1 when mixed, 0 when empty)
+// plus the geometric-skip caches for uniform p ∈ (0,1).
+func uniformScan(off []int64, probs []float64, dist []NodeDist) {
+	for v := range dist {
+		lo, hi := off[v], off[v+1]
+		if lo == hi {
+			continue
+		}
+		p := probs[lo]
+		for pos := lo + 1; pos < hi; pos++ {
+			if probs[pos] != p {
+				p = -1
+				break
+			}
+		}
+		dist[v].Uniform = p
+		if p > 0 && p < 1 {
+			dist[v].InvLogQ = 1 / math.Log(1-p)
+			dist[v].QD = math.Pow(1-p, float64(hi-lo))
+		}
+	}
+}

@@ -6,8 +6,8 @@
 // random and (ii) sampling a deterministic subgraph by keeping each edge
 // e with its activation probability p(e); the RR set is every node that
 // reaches the root in the sampled subgraph (found by reverse BFS that
-// flips each in-edge's coin on first touch). The fraction of RR sets hit
-// by a seed set S estimates σ_im(S)/n (Borgs et al. 2014).
+// decides each in-edge's liveness on first touch). The fraction of RR
+// sets hit by a seed set S estimates σ_im(S)/n (Borgs et al. 2014).
 //
 // The paper extends this to Multi-RR (MRR) sets: one root is drawn per
 // sample, and ℓ RR sets are grown from it — one per viral piece, each
@@ -16,14 +16,27 @@
 // estimator (Eq. 6, with Eq. 1's zero-when-uncovered semantics) plugs the
 // per-sample coverage counts into the logistic model.
 //
+// The sampling engine works on graph.PieceLayout views of the edge
+// probabilities: probabilities are read in reverse-CSR position order (no
+// per-edge indirection), and nodes whose in-edges share one probability —
+// the weighted-cascade case, p = 1/in-degree — are sampled with
+// geometric-skip jumps (SUBSIM-style), paying O(1 + p·indeg) RNG draws
+// instead of O(indeg) coin flips. Mixed-probability nodes fall back to
+// one flip per in-edge.
+//
 // Sampling is parallel and deterministic: sample i derives its RNG stream
 // from (seed, i), so any worker schedule produces bit-identical sets.
+// Workers claim fixed-size blocks of sample indices from an atomic
+// counter (work stealing), so skewed RR-set sizes cannot strand the tail
+// of the workload behind one straggler.
 package rrset
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"oipa/internal/bitset"
 	"oipa/internal/graph"
@@ -33,18 +46,25 @@ import (
 
 // sampler holds the per-goroutine reverse-BFS scratch state.
 type sampler struct {
-	g       *graph.Graph
+	inOff   []int64
+	inFrom  []int32
 	visited *bitset.Stamp
 	queue   []int32
 }
 
 func newSampler(g *graph.Graph) *sampler {
-	return &sampler{g: g, visited: bitset.NewStamp(g.N()), queue: make([]int32, 0, 256)}
+	inOff, inFrom := g.InCSR()
+	return &sampler{inOff: inOff, inFrom: inFrom, visited: bitset.NewStamp(g.N()), queue: make([]int32, 0, 256)}
 }
 
-// sample grows the RR set of root under the given edge probabilities and
+// sample grows the RR set of root under the given piece layout and
 // appends its nodes (including the root) to out.
-func (s *sampler) sample(root int32, probs []float64, rng *xrand.SplitMix64, out []int32) []int32 {
+//
+// Per-node dispatch: uniform-probability nodes draw the index of their
+// next live in-edge with a geometric jump (ties the number of RNG draws
+// to the number of live edges, not the in-degree); mixed nodes flip one
+// coin per in-edge, reading probabilities sequentially from the layout.
+func (s *sampler) sample(root int32, lay *graph.PieceLayout, rng *xrand.SplitMix64, out []int32) []int32 {
 	s.visited.Reset()
 	s.queue = s.queue[:0]
 	s.visited.Mark(int(root))
@@ -52,44 +72,196 @@ func (s *sampler) sample(root int32, probs []float64, rng *xrand.SplitMix64, out
 	out = append(out, root)
 	for head := 0; head < len(s.queue); head++ {
 		v := s.queue[head]
-		froms, eids := s.g.InNeighbors(v)
-		for i, u := range froms {
-			if s.visited.Marked(int(u)) {
+		lo, hi := s.inOff[v], s.inOff[v+1]
+		if lo == hi {
+			continue
+		}
+		dist := &lay.InDist[v]
+		switch p := dist.Uniform; {
+		case p == 0:
+			// Every in-edge is dead.
+		case p > 0 && p < 1:
+			if hi-lo <= geoSkipMinDeg {
+				// Short scan: one flip per edge beats a log call, and the
+				// uniform probability needs no per-edge loads.
+				for pos := lo; pos < hi; pos++ {
+					if rng.Float64() >= p {
+						continue
+					}
+					if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
+						s.queue = append(s.queue, u)
+						out = append(out, u)
+					}
+				}
 				continue
 			}
-			p := probs[eids[i]]
-			if p <= 0 {
+			// Geometric skip: ⌊ln(U)/ln(1-p)⌋ is the number of dead edges
+			// before the next live one. The first draw doubles as the
+			// all-dead test — U ≤ (1-p)^indeg is that exact event — so the
+			// common empty scan costs one draw and no log.
+			u0 := rng.Float64()
+			if u0 <= dist.QD {
 				continue
 			}
-			if p < 1 && rng.Float64() >= p {
+			invLogQ := dist.InvLogQ
+			pos := lo + int64(math.Log(u0)*invLogQ)
+			if pos >= hi {
+				// u0 > QD guarantees pos < hi in exact arithmetic, but QD
+				// (math.Pow) and the log product round independently; clamp
+				// rather than read the next node's CSR range.
 				continue
 			}
-			s.visited.Mark(int(u))
-			s.queue = append(s.queue, u)
-			out = append(out, u)
+			for {
+				if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
+					s.queue = append(s.queue, u)
+					out = append(out, u)
+				}
+				pos++
+				if pos >= hi {
+					break
+				}
+				jump := math.Log(rng.Float64()) * invLogQ
+				if jump >= float64(hi-pos) {
+					break
+				}
+				pos += int64(jump)
+			}
+		case p >= 1:
+			for pos := lo; pos < hi; pos++ {
+				if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
+					s.queue = append(s.queue, u)
+					out = append(out, u)
+				}
+			}
+		default: // mixed probabilities: one flip per live-candidate edge
+			probs := lay.InProbs
+			for pos := lo; pos < hi; pos++ {
+				q := probs[pos]
+				if q <= 0 {
+					continue
+				}
+				if q < 1 && rng.Float64() >= q {
+					continue
+				}
+				if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
+					s.queue = append(s.queue, u)
+					out = append(out, u)
+				}
+			}
 		}
 	}
 	return out
 }
 
-// Collection is a growable set of single-piece RR sets with flattened
-// storage. It serves the IM baselines; OIPA uses MRRCollection.
-type Collection struct {
-	g       *graph.Graph
-	probs   []float64
-	seed    uint64
+// geoSkipMinDeg is the uniform-node degree above which geometric-skip
+// jumps beat per-edge flips: a jump costs a math.Log (~5 flips' worth of
+// RNG), so short scans stay on the flip path.
+const geoSkipMinDeg = 8
+
+// sampleBlockSize is the number of consecutive sample indices a worker
+// claims per steal. Small enough that skewed RR-set sizes rebalance,
+// large enough that the atomic counter stays out of the profile.
+const sampleBlockSize = 64
+
+// blockResult accumulates one block's flattened sets. offsets are
+// relative to the block's first node and record one entry per completed
+// set (the implicit leading offset is 0).
+type blockResult struct {
 	offsets []int64
 	nodes   []int32
 	roots   []int32
 }
 
-// NewCollection returns an empty collection bound to a graph, a per-edge
-// probability vector and a base seed.
-func NewCollection(g *graph.Graph, probs []float64, seed uint64) (*Collection, error) {
-	if len(probs) != g.M() {
-		return nil, fmt.Errorf("rrset: %d probabilities for %d edges", len(probs), g.M())
+// sampleBlocks runs fn over every sample index in [0, count), distributing
+// fixed-size blocks of indices to GOMAXPROCS workers via an atomic
+// counter: a worker that finishes a block of small sets immediately claims
+// the next unclaimed block (work stealing), so no static partition can
+// strand work behind a straggler. setsPerSample sizes the per-block
+// result buffers. Results are returned indexed by block, letting the
+// caller stitch them together in deterministic order — which, combined
+// with per-sample RNG derivation, keeps output independent of the
+// schedule.
+func sampleBlocks(g *graph.Graph, count, setsPerSample int, fn func(s *sampler, i int, res *blockResult)) []blockResult {
+	if count <= 0 {
+		return nil
 	}
-	return &Collection{g: g, probs: probs, seed: seed, offsets: []int64{0}}, nil
+	numBlocks := (count + sampleBlockSize - 1) / sampleBlockSize
+	results := make([]blockResult, numBlocks)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSampler(g)
+			minNodeCap := 4 * sampleBlockSize * setsPerSample
+			nodeCap := minNodeCap
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= numBlocks {
+					return
+				}
+				lo := b * sampleBlockSize
+				hi := lo + sampleBlockSize
+				if hi > count {
+					hi = count
+				}
+				res := &results[b]
+				res.offsets = make([]int64, 0, (hi-lo)*setsPerSample)
+				res.nodes = make([]int32, 0, nodeCap)
+				for i := lo; i < hi; i++ {
+					fn(s, i, res)
+				}
+				// Track the previous block's size as the next hint (RR-set
+				// sizes vary by orders of magnitude across graphs) — follow,
+				// don't ratchet, so one giant block in a heavy-tailed run
+				// doesn't pin max-sized buffers for every later block.
+				nodeCap = 2 * len(res.nodes)
+				if nodeCap < minNodeCap {
+					nodeCap = minNodeCap
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Collection is a growable set of single-piece RR sets with flattened
+// storage. It serves the IM baselines; OIPA uses MRRCollection.
+// Methods that grow or query the collection are not safe for concurrent
+// use (they share scratch state).
+type Collection struct {
+	g       *graph.Graph
+	layout  *graph.PieceLayout
+	seed    uint64
+	offsets []int64
+	nodes   []int32
+	roots   []int32
+
+	seedMark *bitset.Stamp // Coverage scratch, lazily allocated
+}
+
+// NewCollection returns an empty collection bound to a graph, a per-edge
+// probability vector and a base seed. The probabilities are materialized
+// into a graph.PieceLayout once, up front.
+func NewCollection(g *graph.Graph, probs []float64, seed uint64) (*Collection, error) {
+	lay, err := g.Layout(probs)
+	if err != nil {
+		return nil, fmt.Errorf("rrset: %w", err)
+	}
+	return NewCollectionLayout(lay, seed), nil
+}
+
+// NewCollectionLayout returns an empty collection sampling under a
+// prebuilt piece layout; callers that already hold layouts (for example
+// for cascade cross-validation) avoid rebuilding them.
+func NewCollectionLayout(lay *graph.PieceLayout, seed uint64) *Collection {
+	return &Collection{g: lay.Graph(), layout: lay, seed: seed, offsets: []int64{0}}
 }
 
 // Theta returns the number of sampled RR sets.
@@ -107,79 +279,55 @@ func (c *Collection) Root(i int) int32 { return c.roots[i] }
 // TotalSize returns the summed cardinality of all RR sets.
 func (c *Collection) TotalSize() int { return len(c.nodes) }
 
-// ExtendTo grows the collection to theta RR sets. Samples are generated in
-// parallel chunks but indexed deterministically: set i is always the same
-// for a given (graph, probs, seed), regardless of when or where it was
-// generated.
+// ExtendTo grows the collection to theta RR sets. Samples are generated
+// in parallel (work-stealing blocks) but indexed deterministically: set i
+// is always the same for a given (graph, probs, seed), regardless of when
+// or where it was generated.
 func (c *Collection) ExtendTo(theta int) {
 	start := c.Theta()
 	if theta <= start {
 		return
 	}
-	type chunk struct {
-		offsets []int64 // relative
-		nodes   []int32
-		roots   []int32
-	}
-	count := theta - start
-	workers := runtime.GOMAXPROCS(0)
-	if workers > count {
-		workers = count
-	}
-	chunkSize := (count + workers - 1) / workers
-	chunks := make([]chunk, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := start + w*chunkSize
-		hi := lo + chunkSize
-		if hi > theta {
-			hi = theta
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s := newSampler(c.g)
-			ck := chunk{offsets: make([]int64, 0, hi-lo+1)}
-			ck.offsets = append(ck.offsets, 0)
-			n := uint64(c.g.N())
-			for i := lo; i < hi; i++ {
-				rng := xrand.Derive(c.seed, uint64(i))
-				root := int32(rng.Uint64n(n))
-				ck.roots = append(ck.roots, root)
-				ck.nodes = s.sample(root, c.probs, rng, ck.nodes)
-				ck.offsets = append(ck.offsets, int64(len(ck.nodes)))
-			}
-			chunks[w] = ck
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, ck := range chunks {
-		if len(ck.offsets) == 0 {
-			continue // worker received an empty range
-		}
+	n := uint64(c.g.N())
+	blocks := sampleBlocks(c.g, theta-start, 1, func(s *sampler, i int, res *blockResult) {
+		rng := xrand.Derive(c.seed, uint64(start+i))
+		root := int32(rng.Uint64n(n))
+		res.roots = append(res.roots, root)
+		res.nodes = s.sample(root, c.layout, rng, res.nodes)
+		res.offsets = append(res.offsets, int64(len(res.nodes)))
+	})
+	for _, blk := range blocks {
 		base := int64(len(c.nodes))
-		for _, off := range ck.offsets[1:] {
+		for _, off := range blk.offsets {
 			c.offsets = append(c.offsets, base+off)
 		}
-		c.nodes = append(c.nodes, ck.nodes...)
-		c.roots = append(c.roots, ck.roots...)
+		c.nodes = append(c.nodes, blk.nodes...)
+		c.roots = append(c.roots, blk.roots...)
 	}
 }
 
 // Coverage returns the number of RR sets intersected by seeds (linear
-// scan; the IM baselines use incremental coverage instead).
+// scan; the IM baselines use incremental coverage instead). Seed ids
+// outside the graph never match.
 func (c *Collection) Coverage(seeds []int32) int {
-	inSeed := make(map[int32]bool, len(seeds))
+	if c.seedMark == nil {
+		c.seedMark = bitset.NewStamp(c.g.N())
+	}
+	c.seedMark.Reset()
+	marked := false
 	for _, v := range seeds {
-		inSeed[v] = true
+		if v >= 0 && int(v) < c.g.N() {
+			c.seedMark.Mark(int(v))
+			marked = true
+		}
+	}
+	if !marked {
+		return 0
 	}
 	covered := 0
 	for i := 0; i < c.Theta(); i++ {
 		for _, v := range c.Set(i) {
-			if inSeed[v] {
+			if c.seedMark.Marked(int(v)) {
 				covered++
 				break
 			}
@@ -198,6 +346,8 @@ func (c *Collection) EstimateSpread(seeds []int32) float64 {
 
 // MRRCollection holds θ multi-RR samples over ℓ pieces: sample i consists
 // of a root and one RR set per piece, stored flattened at index i·ℓ+j.
+// Estimator methods share scratch state and are not safe for concurrent
+// use.
 type MRRCollection struct {
 	g       *graph.Graph
 	l       int
@@ -205,31 +355,55 @@ type MRRCollection struct {
 	roots   []int32
 	offsets []int64
 	nodes   []int32
+
+	planMark []*bitset.Stamp // EstimateAUScan scratch, lazily allocated
 }
 
 // SampleMRR draws theta multi-RR samples. pieceProbs[j] holds the per-edge
 // probabilities of piece j (from graph.PieceProbs). Parallel and
 // deterministic in the same sense as Collection.ExtendTo.
 func SampleMRR(g *graph.Graph, pieceProbs [][]float64, theta int, seed uint64) (*MRRCollection, error) {
-	l := len(pieceProbs)
-	if l == 0 {
+	layouts, err := buildLayouts(g, pieceProbs)
+	if err != nil {
+		return nil, err
+	}
+	return SampleMRRLayouts(g, layouts, theta, seed)
+}
+
+// buildLayouts materializes one PieceLayout per probability vector.
+func buildLayouts(g *graph.Graph, pieceProbs [][]float64) ([]*graph.PieceLayout, error) {
+	if len(pieceProbs) == 0 {
 		return nil, fmt.Errorf("rrset: no pieces")
+	}
+	layouts := make([]*graph.PieceLayout, len(pieceProbs))
+	for j, probs := range pieceProbs {
+		lay, err := g.Layout(probs)
+		if err != nil {
+			return nil, fmt.Errorf("rrset: piece %d: %w", j, err)
+		}
+		layouts[j] = lay
+	}
+	return layouts, nil
+}
+
+// SampleMRRLayouts draws theta multi-RR samples from prebuilt piece
+// layouts, skipping the per-call layout construction; solvers that sample
+// repeatedly over the same campaign (progressive estimation, parameter
+// sweeps) prepare the layouts once.
+func SampleMRRLayouts(g *graph.Graph, layouts []*graph.PieceLayout, theta int, seed uint64) (*MRRCollection, error) {
+	if err := validateLayouts(g, layouts); err != nil {
+		return nil, err
 	}
 	if theta <= 0 {
 		return nil, fmt.Errorf("rrset: non-positive theta %d", theta)
-	}
-	for j, probs := range pieceProbs {
-		if len(probs) != g.M() {
-			return nil, fmt.Errorf("rrset: piece %d has %d probabilities for %d edges", j, len(probs), g.M())
-		}
 	}
 	roots := make([]int32, theta)
 	for i := range roots {
 		rng := xrand.Derive(seed, uint64(i))
 		roots[i] = int32(rng.Uint64n(uint64(g.N())))
 	}
-	m := &MRRCollection{g: g, l: l, seed: seed, roots: roots}
-	m.sampleInto(pieceProbs, theta)
+	m := &MRRCollection{g: g, l: len(layouts), seed: seed, roots: roots}
+	m.sampleInto(layouts, theta)
 	return m, nil
 }
 
@@ -237,10 +411,6 @@ func SampleMRR(g *graph.Graph, pieceProbs [][]float64, theta int, seed uint64) (
 // exists for golden tests (such as the paper's Table II example) and for
 // replaying specific scenarios; production sampling uses SampleMRR.
 func SampleMRRWithRoots(g *graph.Graph, pieceProbs [][]float64, roots []int32, seed uint64) (*MRRCollection, error) {
-	l := len(pieceProbs)
-	if l == 0 {
-		return nil, fmt.Errorf("rrset: no pieces")
-	}
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("rrset: no roots")
 	}
@@ -249,64 +419,47 @@ func SampleMRRWithRoots(g *graph.Graph, pieceProbs [][]float64, roots []int32, s
 			return nil, fmt.Errorf("rrset: root %d outside graph", r)
 		}
 	}
-	m := &MRRCollection{g: g, l: l, seed: seed, roots: append([]int32(nil), roots...)}
-	m.sampleInto(pieceProbs, len(roots))
+	layouts, err := buildLayouts(g, pieceProbs)
+	if err != nil {
+		return nil, err
+	}
+	m := &MRRCollection{g: g, l: len(layouts), seed: seed, roots: append([]int32(nil), roots...)}
+	m.sampleInto(layouts, len(roots))
 	return m, nil
 }
 
+func validateLayouts(g *graph.Graph, layouts []*graph.PieceLayout) error {
+	if len(layouts) == 0 {
+		return fmt.Errorf("rrset: no pieces")
+	}
+	for j, lay := range layouts {
+		if lay == nil || lay.Graph() != g {
+			return fmt.Errorf("rrset: piece %d layout not built for this graph", j)
+		}
+	}
+	return nil
+}
+
 // sampleInto fills offsets/nodes for the first theta roots.
-func (m *MRRCollection) sampleInto(pieceProbs [][]float64, theta int) {
-	type chunk struct {
-		offsets []int64
-		nodes   []int32
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > theta {
-		workers = theta
-	}
-	chunkSize := (theta + workers - 1) / workers
-	chunks := make([]chunk, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunkSize
-		hi := lo + chunkSize
-		if hi > theta {
-			hi = theta
+func (m *MRRCollection) sampleInto(layouts []*graph.PieceLayout, theta int) {
+	n := uint64(m.g.N())
+	blocks := sampleBlocks(m.g, theta, m.l, func(s *sampler, i int, res *blockResult) {
+		// Re-burn the root draw (same call, so the stream position
+		// matches SampleMRR exactly even when Uint64n rejects).
+		rng := xrand.Derive(m.seed, uint64(i))
+		rng.Uint64n(n)
+		for _, lay := range layouts {
+			res.nodes = s.sample(m.roots[i], lay, rng, res.nodes)
+			res.offsets = append(res.offsets, int64(len(res.nodes)))
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s := newSampler(m.g)
-			ck := chunk{offsets: make([]int64, 0, (hi-lo)*m.l+1)}
-			ck.offsets = append(ck.offsets, 0)
-			n := uint64(m.g.N())
-			for i := lo; i < hi; i++ {
-				// Re-burn the root draw (same call, so the stream position
-				// matches SampleMRR exactly even when Uint64n rejects).
-				rng := xrand.Derive(m.seed, uint64(i))
-				rng.Uint64n(n)
-				for j := 0; j < m.l; j++ {
-					ck.nodes = s.sample(m.roots[i], pieceProbs[j], rng, ck.nodes)
-					ck.offsets = append(ck.offsets, int64(len(ck.nodes)))
-				}
-			}
-			chunks[w] = ck
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	})
 	m.offsets = make([]int64, 1, theta*m.l+1)
-	for _, ck := range chunks {
-		if len(ck.offsets) == 0 {
-			continue // worker received an empty range
-		}
+	for _, blk := range blocks {
 		base := int64(len(m.nodes))
-		for _, off := range ck.offsets[1:] {
+		for _, off := range blk.offsets {
 			m.offsets = append(m.offsets, base+off)
 		}
-		m.nodes = append(m.nodes, ck.nodes...)
+		m.nodes = append(m.nodes, blk.nodes...)
 	}
 }
 
@@ -335,7 +488,7 @@ func (m *MRRCollection) TotalSize() int { return len(m.nodes) }
 // EstimateAUScan estimates σ(S̄) by scanning every RR set (Eq. 6 with the
 // zero-when-uncovered semantics of Eq. 1). It is O(total RR size) per
 // call; the solvers use the inverted Index instead. Plans may seed any
-// node, not just pool members.
+// graph node, not just pool members; ids outside the graph never match.
 func (m *MRRCollection) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
 	if len(plan) != m.l {
 		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
@@ -343,22 +496,31 @@ func (m *MRRCollection) EstimateAUScan(plan [][]int32, model logistic.Model) (fl
 	if err := model.Validate(); err != nil {
 		return 0, err
 	}
-	seedSets := make([]map[int32]bool, m.l)
+	for len(m.planMark) < m.l {
+		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
+	}
+	// active[j]: piece j has at least one in-graph seed marked.
+	active := make([]bool, m.l)
 	for j, seeds := range plan {
-		seedSets[j] = make(map[int32]bool, len(seeds))
+		st := m.planMark[j]
+		st.Reset()
 		for _, v := range seeds {
-			seedSets[j][v] = true
+			if v >= 0 && int(v) < m.g.N() {
+				st.Mark(int(v))
+				active[j] = true
+			}
 		}
 	}
 	total := 0.0
 	for i := 0; i < m.Theta(); i++ {
 		count := 0
 		for j := 0; j < m.l; j++ {
-			if len(seedSets[j]) == 0 {
+			if !active[j] {
 				continue
 			}
+			st := m.planMark[j]
 			for _, v := range m.Set(i, j) {
-				if seedSets[j][v] {
+				if st.Marked(int(v)) {
 					count++
 					break
 				}
