@@ -78,8 +78,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sampled %d MRR sets in %s (total size %d)\n",
-		inst.MRR.Theta(), inst.SampleTime.Round(1e6), inst.MRR.TotalSize())
+	fmt.Printf("sampled %d MRR sets in %s (total size %d, %d shard arenas)\n",
+		inst.MRR.Theta(), inst.SampleTime.Round(1e6), inst.MRR.TotalSize(), inst.MRR.Shards())
 
 	var res *core.Result
 	switch strings.ToLower(*method) {

@@ -77,9 +77,18 @@ func main() {
 			return core.SolveBABP(inst, core.DefaultBABPOptions())
 		}},
 	}
-	fmt.Println("strategy                                estimated   simulated   assignment (tax/imm/health)")
+	// An immutable read-side snapshot of the MRR samples: the full-scan
+	// estimator on the view cross-checks each solver's (index-based)
+	// utility on exactly the samples it optimized over.
+	samples := inst.MRR.View()
+
+	fmt.Println("strategy                                estimated        scan   simulated   assignment (tax/imm/health)")
 	for _, s := range strategies {
 		res, err := s.solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		scan, err := samples.EstimateAUScan(res.Plan.Seeds, problem.Model)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,8 +96,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-40s %9.1f %11.1f   %d/%d/%d\n",
-			s.name, res.Utility, truth,
+		fmt.Printf("%-40s %9.1f %11.1f %11.1f   %d/%d/%d\n",
+			s.name, res.Utility, scan, truth,
 			len(res.Plan.Seeds[0]), len(res.Plan.Seeds[1]), len(res.Plan.Seeds[2]))
 	}
 	fmt.Println("\nOIPA spreads the slots across issues so the same voters hear")

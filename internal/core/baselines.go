@@ -34,7 +34,7 @@ func SolveIM(inst *Instance, seed uint64) (*Result, error) {
 	}
 	col := rrset.NewCollectionLayout(lay, seed)
 	col.ExtendTo(inst.MRR.Theta())
-	cover, err := im.GreedyCover(col, inst.Problem.Pool, inst.Problem.K)
+	cover, err := im.GreedyCover(col.View(), inst.Problem.Pool, inst.Problem.K)
 	if err != nil {
 		return nil, err
 	}

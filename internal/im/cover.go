@@ -23,7 +23,12 @@ type CoverResult struct {
 // coverage, using exact decremental gain maintenance: overall cost is
 // O(total RR size + k·|candidates|), and the selection achieves the
 // classic (1−1/e) approximation of maximum coverage.
-func GreedyCover(c *rrset.Collection, candidates []int32, k int) (*CoverResult, error) {
+//
+// It consumes an immutable rrset.View snapshot rather than the growable
+// collection, so a caller that keeps extending the collection (IMM's
+// geometric phases) hands each selection a frozen, consistent sample
+// set.
+func GreedyCover(c *rrset.View, candidates []int32, k int) (*CoverResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("im: non-positive budget %d", k)
 	}

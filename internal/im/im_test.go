@@ -46,7 +46,7 @@ func TestGreedyCoverPicksLargestHubs(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.ExtendTo(20000)
-	res, err := GreedyCover(c, hubs, 2)
+	res, err := GreedyCover(c.View(), hubs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestGreedyCoverMatchesBruteForceOnTinyInstances(t *testing.T) {
 			candidates[i] = int32(i)
 		}
 		const k = 3
-		res, err := GreedyCover(c, candidates, k)
+		res, err := GreedyCover(c.View(), candidates, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func TestGreedyCoverStopsWhenNothingLeft(t *testing.T) {
 	c, _ := rrset.NewCollection(g, probs, 1)
 	c.ExtendTo(500)
 	// Ask for more seeds than useful candidates: selection stops early.
-	res, err := GreedyCover(c, hubs, 10)
+	res, err := GreedyCover(c.View(), hubs, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,17 +139,17 @@ func TestGreedyCoverValidates(t *testing.T) {
 	g, probs, hubs := starGraph(t, []int{2})
 	c, _ := rrset.NewCollection(g, probs, 1)
 	c.ExtendTo(10)
-	if _, err := GreedyCover(c, hubs, 0); err == nil {
+	if _, err := GreedyCover(c.View(), hubs, 0); err == nil {
 		t.Fatal("zero budget accepted")
 	}
-	if _, err := GreedyCover(c, nil, 1); err == nil {
+	if _, err := GreedyCover(c.View(), nil, 1); err == nil {
 		t.Fatal("empty candidates accepted")
 	}
-	if _, err := GreedyCover(c, []int32{0, 0}, 1); err == nil {
+	if _, err := GreedyCover(c.View(), []int32{0, 0}, 1); err == nil {
 		t.Fatal("duplicate candidates accepted")
 	}
 	empty, _ := rrset.NewCollection(g, probs, 1)
-	if _, err := GreedyCover(empty, hubs, 1); err == nil {
+	if _, err := GreedyCover(empty.View(), hubs, 1); err == nil {
 		t.Fatal("empty collection accepted")
 	}
 }
@@ -282,7 +282,7 @@ func BenchmarkGreedyCover(b *testing.B) {
 	c.ExtendTo(50000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := GreedyCover(c, hubs, 5); err != nil {
+		if _, err := GreedyCover(c.View(), hubs, 5); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -95,7 +95,7 @@ func IMM(g *graph.Graph, probs []float64, candidates []int32, k int, opts IMMOpt
 			thetaI = opts.MaxTheta
 		}
 		col.ExtendTo(thetaI)
-		res, err := GreedyCover(col, candidates, k)
+		res, err := GreedyCover(col.View(), candidates, k)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func IMM(g *graph.Graph, probs []float64, candidates []int32, k int, opts IMMOpt
 		theta = 1
 	}
 	col.ExtendTo(theta)
-	res, err := GreedyCover(col, candidates, k)
+	res, err := GreedyCover(col.View(), candidates, k)
 	if err != nil {
 		return nil, err
 	}

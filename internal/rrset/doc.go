@@ -1,0 +1,74 @@
+// Package rrset implements reverse-reachable (RR) set sampling — the
+// estimation machinery behind both the paper's baselines and its core
+// algorithms (§V-A).
+//
+// A random RR set is built by (i) choosing a root node uniformly at
+// random and (ii) sampling a deterministic subgraph by keeping each edge
+// e with its activation probability p(e); the RR set is every node that
+// reaches the root in the sampled subgraph (found by reverse BFS that
+// decides each in-edge's liveness on first touch). The fraction of RR
+// sets hit by a seed set S estimates σ_im(S)/n (Borgs et al. 2014).
+//
+// The paper extends this to Multi-RR (MRR) sets: one root is drawn per
+// sample, and ℓ RR sets are grown from it — one per viral piece, each
+// under that piece's own edge probabilities. An assignment plan covers
+// piece j of sample i when S_j intersects R_i^j, and the adoption utility
+// estimator (Eq. 6, with Eq. 1's zero-when-uncovered semantics) plugs the
+// per-sample coverage counts into the logistic model.
+//
+// The sampling engine works on graph.PieceLayout views of the edge
+// probabilities: probabilities are read in reverse-CSR position order (no
+// per-edge indirection), and nodes whose in-edges share one probability —
+// the weighted-cascade case, p = 1/in-degree — are sampled with
+// geometric-skip jumps (SUBSIM-style), paying O(1 + p·indeg) RNG draws
+// instead of O(indeg) coin flips. Mixed-probability nodes fall back to
+// one flip per in-edge.
+//
+// # Sharded storage
+//
+// Sampled sets live in per-worker shards, not one monolithic arena. Each
+// work-stealing worker appends the sets of the blocks it claims into its
+// own arena (an internal shard: a nodes slice plus set-end offsets), and
+// a tiny per-block directory records which shard each block of sample
+// indices landed in. Workers therefore never contend on storage, nothing
+// is copied when they finish — the pre-shard engine's post-sampling
+// stitch (an O(TotalSize) memmove re-packing every block buffer into one
+// arena) is gone — and ExtendTo grows the same shards in place, which is
+// what lets collections reach production theta (10^7+) without paying a
+// second arena of peak memory.
+//
+// Reads go through the directory: Set(i) finds the sampling run by
+// binary search (one run per ExtendTo call), the block by one division,
+// and the set bounds by two offset loads. Collection.View and
+// MRRCollection.View snapshot the directory and shard headers into an
+// immutable read-side View/MRRView exposing the same Set/Root/Theta/
+// Coverage/EstimateSpread/EstimateAUScan API; because shard arenas are
+// append-only, a view stays valid and bit-identical even while the
+// parent collection keeps growing. (Estimator methods carry lazily
+// allocated scratch, so a single View value — like a Collection — must
+// not be used from multiple goroutines concurrently; take one view per
+// goroutine instead, which is cheap.)
+//
+// The MRR sampling blocks also fuse a counting pass into sampling: each
+// shard tracks how many of its samples' piece-j sets contain each node,
+// so BuildIndex can size its inverted CSR from shard-local counts
+// instead of re-walking every set (see index.go). The count arrays cost
+// O(shards·ℓ·n) resident memory, so they are only maintained when that
+// is small next to the sample data itself (n·workers ≤ θ, decided at
+// the first sampling run); past the threshold — and for collections
+// loaded from storage — BuildIndex falls back to the counting walk,
+// which emits an identical CSR.
+//
+// # Determinism contract
+//
+// Sampling is parallel and deterministic: sample i derives its RNG stream
+// from (seed, i), so any worker schedule — and any shard count — produces
+// bit-identical sets, estimates and serialized bytes. Workers claim
+// fixed-size blocks of sample indices from an atomic counter (work
+// stealing), so skewed RR-set sizes cannot strand the tail of the
+// workload behind one straggler; only the physical placement of a set
+// (which shard holds it) depends on the schedule, never its contents or
+// its position in the read-side order. The shardtest conformance suite
+// pins this contract against a naive single-arena reference
+// implementation at 1, 4 and NumCPU shards.
+package rrset

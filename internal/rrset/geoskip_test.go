@@ -29,6 +29,9 @@ func flipLayout(lay *graph.PieceLayout) *graph.PieceLayout {
 // spread estimates — on a WC-weighted graph where every node takes the
 // geometric path.
 func TestGeoSkipMatchesFlipSpread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-check skipped in -short mode")
+	}
 	g, probs := wcGraph(t, 11, 3000, 45000)
 	lay, err := g.Layout(probs[0])
 	if err != nil {
@@ -62,6 +65,9 @@ func TestGeoSkipMatchesFlipSpread(t *testing.T) {
 // TestGeoSkipMatchesFlipAU runs the same cross-check through the MRR
 // adoption-utility estimator.
 func TestGeoSkipMatchesFlipAU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-check skipped in -short mode")
+	}
 	g, probs := wcGraph(t, 13, 2000, 30000)
 	layouts := make([]*graph.PieceLayout, len(probs))
 	flips := make([]*graph.PieceLayout, len(probs))

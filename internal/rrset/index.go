@@ -2,6 +2,7 @@ package rrset
 
 import (
 	"fmt"
+	"sync"
 
 	"oipa/internal/logistic"
 )
@@ -11,10 +12,13 @@ import (
 // set R_i^j contains v. The branch-and-bound solvers spend nearly all
 // their time walking these lists, so they are stored as one CSR block.
 //
+// An Index is built over an immutable MRRView snapshot, so it stays
+// consistent even if the source collection keeps growing afterwards.
+//
 // Pool positions (dense indices into the pool slice) identify promoters
 // throughout the solver hot paths; PoolPos translates node ids.
 type Index struct {
-	mrr  *MRRCollection
+	mrr  *MRRView
 	pool []int32
 	pos  []int32 // node id -> pool position, -1 if not in pool
 
@@ -25,31 +29,63 @@ type Index struct {
 
 // BuildIndex inverts the collection over the given promoter pool. The
 // pool must be non-empty and duplicate-free.
+//
+// The CSR is sized directly from the shard-local membership counts the
+// sampling blocks maintain — for sampled collections the classic
+// counting walk over every RR set is skipped entirely, leaving one fill
+// pass (parallel over pieces). Collections loaded from storage carry no
+// counts and fall back to the counting walk; both paths emit an
+// identical CSR (pinned by the BuildIndex golden test).
 func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("rrset: empty promoter pool")
 	}
-	ix := &Index{mrr: m, pool: append([]int32(nil), pool...), pos: make([]int32, m.g.N())}
+	v := m.View()
+	ix := &Index{mrr: v, pool: append([]int32(nil), pool...), pos: make([]int32, v.N())}
 	for i := range ix.pos {
 		ix.pos[i] = -1
 	}
-	for p, v := range ix.pool {
-		if v < 0 || int(v) >= m.g.N() {
-			return nil, fmt.Errorf("rrset: pool member %d outside graph", v)
+	for p, u := range ix.pool {
+		if u < 0 || int(u) >= v.N() {
+			return nil, fmt.Errorf("rrset: pool member %d outside graph", u)
 		}
-		if ix.pos[v] >= 0 {
-			return nil, fmt.Errorf("rrset: duplicate pool member %d", v)
+		if ix.pos[u] >= 0 {
+			return nil, fmt.Errorf("rrset: duplicate pool member %d", u)
 		}
-		ix.pos[v] = int32(p)
+		ix.pos[u] = int32(p)
 	}
 
-	l, theta, pp := m.l, m.Theta(), len(pool)
+	l, theta, pp := v.l, v.Theta(), len(pool)
 	counts := make([]int64, l*pp+1)
-	for i := 0; i < theta; i++ {
-		for j := 0; j < l; j++ {
-			for _, v := range m.Set(i, j) {
-				if p := ix.pos[v]; p >= 0 {
-					counts[j*pp+int(p)+1]++
+	if m.st.counted {
+		// Fused path: Σ over shards of the per-(piece, node) counts the
+		// sampling blocks maintained, restricted to the pool. Cost is
+		// O(shards·ℓ·|pool|), independent of the total RR size. Counts
+		// are read from the live store, not the view snapshot (snapshots
+		// drop them — see store.snapshot); the view was taken in the same
+		// call, so the two agree.
+		gn := v.N()
+		for si := range m.st.shards {
+			sc := m.st.shards[si].counts
+			if sc == nil {
+				continue // shard never claimed an MRR block
+			}
+			for j := 0; j < l; j++ {
+				base := j * gn
+				row := counts[j*pp+1 : j*pp+pp+1]
+				for p, u := range ix.pool {
+					row[p] += int64(sc[base+int(u)])
+				}
+			}
+		}
+	} else {
+		// Counting walk (loaded collections): one pass over every set.
+		for i := 0; i < theta; i++ {
+			for j := 0; j < l; j++ {
+				for _, u := range v.Set(i, j) {
+					if p := ix.pos[u]; p >= 0 {
+						counts[j*pp+int(p)+1]++
+					}
 				}
 			}
 		}
@@ -59,23 +95,34 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 	}
 	ix.off = counts
 	ix.samples = make([]int32, ix.off[len(ix.off)-1])
+
+	// Fill pass, parallel over pieces: piece j's slots [j·pp, (j+1)·pp)
+	// are disjoint from every other piece's, and within a slot samples
+	// are appended in ascending i — the same order the sample-major walk
+	// produced.
 	cursor := make([]int64, l*pp)
-	for i := 0; i < theta; i++ {
-		for j := 0; j < l; j++ {
-			for _, v := range m.Set(i, j) {
-				if p := ix.pos[v]; p >= 0 {
-					slot := j*pp + int(p)
-					ix.samples[ix.off[slot]+cursor[slot]] = int32(i)
-					cursor[slot]++
+	var wg sync.WaitGroup
+	for j := 0; j < l; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for i := 0; i < theta; i++ {
+				for _, u := range v.Set(i, j) {
+					if p := ix.pos[u]; p >= 0 {
+						slot := j*pp + int(p)
+						ix.samples[ix.off[slot]+cursor[slot]] = int32(i)
+						cursor[slot]++
+					}
 				}
 			}
-		}
+		}(j)
 	}
+	wg.Wait()
 	return ix, nil
 }
 
-// MRR returns the underlying collection.
-func (ix *Index) MRR() *MRRCollection { return ix.mrr }
+// MRR returns the immutable sample view the index was built over.
+func (ix *Index) MRR() *MRRView { return ix.mrr }
 
 // Pool returns the promoter pool (do not modify).
 func (ix *Index) Pool() []int32 { return ix.pool }

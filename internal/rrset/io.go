@@ -26,6 +26,12 @@ import (
 //	roots   theta × uint32
 //	offsets (theta·l+1) × uint64
 //	nodes   len × uint32 (length from the final offset)
+//
+// Sets are written in canonical sample-major order (sample 0 piece 0,
+// sample 0 piece 1, ..): the determinism contract makes set contents
+// independent of shard count and worker schedule, so the serialized
+// bytes are too. Loading materializes the sets into a single shard in
+// the same canonical order.
 
 var mrrMagic = [8]byte{'O', 'I', 'P', 'A', 'M', 'R', 'R', '1'}
 
@@ -42,11 +48,12 @@ func (m *MRRCollection) Write(w io.Writer) error {
 	if _, err := bw.Write(mrrMagic[:]); err != nil {
 		return err
 	}
+	theta := m.Theta()
 	var hdr [28]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.g.N()))
 	binary.LittleEndian.PutUint64(hdr[4:12], uint64(m.g.M()))
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(m.l))
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(m.Theta()))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(theta))
 	binary.LittleEndian.PutUint64(hdr[20:28], m.seed)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
@@ -58,24 +65,41 @@ func (m *MRRCollection) Write(w io.Writer) error {
 			return err
 		}
 	}
+	// Canonical offsets: leading 0, then the running end offset of every
+	// set in sample-major order.
 	var u64 [8]byte
-	for _, off := range m.offsets {
-		binary.LittleEndian.PutUint64(u64[:], uint64(off))
-		if _, err := bw.Write(u64[:]); err != nil {
-			return err
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	end := int64(0)
+	for i := 0; i < theta; i++ {
+		for j := 0; j < m.l; j++ {
+			end += int64(len(m.Set(i, j)))
+			binary.LittleEndian.PutUint64(u64[:], uint64(end))
+			if _, err := bw.Write(u64[:]); err != nil {
+				return err
+			}
 		}
 	}
-	for _, v := range m.nodes {
-		binary.LittleEndian.PutUint32(u32[:], uint32(v))
-		if _, err := bw.Write(u32[:]); err != nil {
-			return err
+	for i := 0; i < theta; i++ {
+		for j := 0; j < m.l; j++ {
+			for _, v := range m.Set(i, j) {
+				binary.LittleEndian.PutUint32(u32[:], uint32(v))
+				if _, err := bw.Write(u32[:]); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return bw.Flush()
 }
 
 // ReadMRR deserializes a collection and binds it to g, verifying that the
-// graph shape matches the one recorded at sampling time.
+// graph shape matches the one recorded at sampling time. The sets are
+// materialized into a single shard in canonical sample-major order; the
+// loaded collection serves every query and estimator, but it carries no
+// piece layouts (and no membership counts), so it cannot be extended and
+// BuildIndex uses the counting walk instead of the fused counts.
 func ReadMRR(r io.Reader, g *graph.Graph) (*MRRCollection, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var got [8]byte
@@ -100,7 +124,10 @@ func ReadMRR(r io.Reader, g *graph.Graph) (*MRRCollection, error) {
 	if l == 0 || theta == 0 {
 		return nil, fmt.Errorf("rrset: corrupt header (l=%d, theta=%d)", l, theta)
 	}
-	m := &MRRCollection{g: g, l: int(l), seed: seed}
+	m := &MRRCollection{
+		mrrCore: mrrCore{g: g, l: int(l), st: store{setsPerSample: int(l)}},
+		seed:    seed,
+	}
 	m.roots = make([]int32, theta)
 	var u32 [4]byte
 	for i := range m.roots {
@@ -113,10 +140,10 @@ func ReadMRR(r io.Reader, g *graph.Graph) (*MRRCollection, error) {
 		}
 		m.roots[i] = v
 	}
-	m.offsets = make([]int64, int(theta)*int(l)+1)
+	offsets := make([]int64, int(theta)*int(l)+1)
 	var u64 [8]byte
 	prev := int64(-1)
-	for i := range m.offsets {
+	for i := range offsets {
 		if _, err := io.ReadFull(br, u64[:]); err != nil {
 			return nil, fmt.Errorf("rrset: reading offsets: %w", err)
 		}
@@ -125,13 +152,13 @@ func ReadMRR(r io.Reader, g *graph.Graph) (*MRRCollection, error) {
 			return nil, fmt.Errorf("rrset: non-monotone offsets")
 		}
 		prev = off
-		m.offsets[i] = off
+		offsets[i] = off
 	}
-	if m.offsets[0] != 0 {
-		return nil, fmt.Errorf("rrset: first offset %d, want 0", m.offsets[0])
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("rrset: first offset %d, want 0", offsets[0])
 	}
-	m.nodes = make([]int32, m.offsets[len(m.offsets)-1])
-	for i := range m.nodes {
+	nodes := make([]int32, offsets[len(offsets)-1])
+	for i := range nodes {
 		if _, err := io.ReadFull(br, u32[:]); err != nil {
 			return nil, fmt.Errorf("rrset: reading nodes: %w", err)
 		}
@@ -139,8 +166,20 @@ func ReadMRR(r io.Reader, g *graph.Graph) (*MRRCollection, error) {
 		if v < 0 || int(v) >= g.N() {
 			return nil, fmt.Errorf("rrset: RR member %d outside graph", v)
 		}
-		m.nodes[i] = v
+		nodes[i] = v
 	}
+	// One shard, one run: the canonical order is the worker order of a
+	// single serial worker, so the directory is a straight ramp of block
+	// offsets.
+	m.st.shards = []shard{{nodes: nodes, offsets: offsets[1:]}}
+	spb := sampleBlockSize * int(l)
+	numBlocks := (int(theta) + sampleBlockSize - 1) / sampleBlockSize
+	m.st.blocks = make([]blockLoc, numBlocks)
+	for b := range m.st.blocks {
+		m.st.blocks[b] = blockLoc{shard: 0, off: int64(b * spb)}
+	}
+	m.st.runs = []run{{firstSet: 0, blockBase: 0}}
+	m.st.numSets = int64(theta) * int64(l)
 	return m, nil
 }
 

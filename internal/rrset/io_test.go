@@ -2,6 +2,7 @@ package rrset
 
 import (
 	"bytes"
+	"slices"
 	"testing"
 
 	"oipa/internal/graph"
@@ -53,6 +54,61 @@ func TestMRRSerializationRoundTrip(t *testing.T) {
 	}
 	if ua != ub {
 		t.Fatalf("estimates differ after round trip: %v vs %v", ua, ub)
+	}
+}
+
+// TestMRRShardedRoundTrip saves a multi-shard collection (theta not a
+// multiple of the block size, growth split over two runs) and requires
+// the loaded single-shard copy to expose byte-identical sets for every
+// (i, j) — plus a byte-identical re-serialization, so save → load →
+// save is a fixed point.
+func TestMRRShardedRoundTrip(t *testing.T) {
+	g, probs := randomTestGraph(t, 18, 60, 240)
+	var buf bytes.Buffer
+	var m *MRRCollection
+	atGOMAXPROCS(4, func() {
+		var err error
+		m, err = SampleMRR(g, probs, 210, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ExtendTo(470); err != nil {
+			t.Fatal(err)
+		}
+		if m.Shards() < 2 {
+			t.Fatalf("expected a multi-shard collection, got %d shards", m.Shards())
+		}
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	raw := append([]byte(nil), buf.Bytes()...)
+	back, err := ReadMRR(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shards() != 1 {
+		t.Fatalf("loaded collection has %d shards, want 1", back.Shards())
+	}
+	if back.Theta() != m.Theta() || back.L() != m.L() || back.TotalSize() != m.TotalSize() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := 0; i < m.Theta(); i++ {
+		if back.Root(i) != m.Root(i) {
+			t.Fatalf("root %d differs", i)
+		}
+		for j := 0; j < m.L(); j++ {
+			if !slices.Equal(m.Set(i, j), back.Set(i, j)) {
+				t.Fatalf("set (%d,%d) differs after round trip", i, j)
+			}
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := back.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Fatal("save → load → save is not byte-identical")
 	}
 }
 

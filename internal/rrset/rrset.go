@@ -1,42 +1,8 @@
-// Package rrset implements reverse-reachable (RR) set sampling — the
-// estimation machinery behind both the paper's baselines and its core
-// algorithms (§V-A).
-//
-// A random RR set is built by (i) choosing a root node uniformly at
-// random and (ii) sampling a deterministic subgraph by keeping each edge
-// e with its activation probability p(e); the RR set is every node that
-// reaches the root in the sampled subgraph (found by reverse BFS that
-// decides each in-edge's liveness on first touch). The fraction of RR
-// sets hit by a seed set S estimates σ_im(S)/n (Borgs et al. 2014).
-//
-// The paper extends this to Multi-RR (MRR) sets: one root is drawn per
-// sample, and ℓ RR sets are grown from it — one per viral piece, each
-// under that piece's own edge probabilities. An assignment plan covers
-// piece j of sample i when S_j intersects R_i^j, and the adoption utility
-// estimator (Eq. 6, with Eq. 1's zero-when-uncovered semantics) plugs the
-// per-sample coverage counts into the logistic model.
-//
-// The sampling engine works on graph.PieceLayout views of the edge
-// probabilities: probabilities are read in reverse-CSR position order (no
-// per-edge indirection), and nodes whose in-edges share one probability —
-// the weighted-cascade case, p = 1/in-degree — are sampled with
-// geometric-skip jumps (SUBSIM-style), paying O(1 + p·indeg) RNG draws
-// instead of O(indeg) coin flips. Mixed-probability nodes fall back to
-// one flip per in-edge.
-//
-// Sampling is parallel and deterministic: sample i derives its RNG stream
-// from (seed, i), so any worker schedule produces bit-identical sets.
-// Workers claim fixed-size blocks of sample indices from an atomic
-// counter (work stealing), so skewed RR-set sizes cannot strand the tail
-// of the workload behind one straggler.
 package rrset
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"oipa/internal/bitset"
 	"oipa/internal/graph"
@@ -158,158 +124,39 @@ func (s *sampler) sample(root int32, lay *graph.PieceLayout, rng *xrand.SplitMix
 // RNG), so short scans stay on the flip path.
 const geoSkipMinDeg = 8
 
-// sampleBlockSize is the number of consecutive sample indices a worker
-// claims per steal. Small enough that skewed RR-set sizes rebalance,
-// large enough that the atomic counter stays out of the profile.
-const sampleBlockSize = 64
-
-// blockResult accumulates one block's flattened sets. offsets are
-// relative to the block's first node and record one entry per completed
-// set (the implicit leading offset is 0).
-type blockResult struct {
-	offsets []int64
-	nodes   []int32
-	roots   []int32
-}
-
-// sampleBlocks runs fn over every sample index in [0, count), distributing
-// fixed-size blocks of indices to GOMAXPROCS workers via an atomic
-// counter: a worker that finishes a block of small sets immediately claims
-// the next unclaimed block (work stealing), so no static partition can
-// strand work behind a straggler. setsPerSample sizes the per-block
-// result buffers. Results are returned indexed by block, letting the
-// caller stitch them together in deterministic order — which, combined
-// with per-sample RNG derivation, keeps output independent of the
-// schedule.
-func sampleBlocks(g *graph.Graph, count, setsPerSample int, fn func(s *sampler, i int, res *blockResult)) []blockResult {
-	if count <= 0 {
-		return nil
-	}
-	numBlocks := (count + sampleBlockSize - 1) / sampleBlockSize
-	results := make([]blockResult, numBlocks)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > numBlocks {
-		workers = numBlocks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := newSampler(g)
-			minNodeCap := 4 * sampleBlockSize * setsPerSample
-			nodeCap := minNodeCap
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= numBlocks {
-					return
-				}
-				lo := b * sampleBlockSize
-				hi := lo + sampleBlockSize
-				if hi > count {
-					hi = count
-				}
-				res := &results[b]
-				res.offsets = make([]int64, 0, (hi-lo)*setsPerSample)
-				res.nodes = make([]int32, 0, nodeCap)
-				for i := lo; i < hi; i++ {
-					fn(s, i, res)
-				}
-				// Track the previous block's size as the next hint (RR-set
-				// sizes vary by orders of magnitude across graphs) — follow,
-				// don't ratchet, so one giant block in a heavy-tailed run
-				// doesn't pin max-sized buffers for every later block.
-				nodeCap = 2 * len(res.nodes)
-				if nodeCap < minNodeCap {
-					nodeCap = minNodeCap
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return results
-}
-
-// Collection is a growable set of single-piece RR sets with flattened
-// storage. It serves the IM baselines; OIPA uses MRRCollection.
-// Methods that grow or query the collection are not safe for concurrent
-// use (they share scratch state).
-type Collection struct {
-	g       *graph.Graph
-	layout  *graph.PieceLayout
-	seed    uint64
-	offsets []int64
-	nodes   []int32
-	roots   []int32
+// collCore is the read side shared by Collection and View: the sharded
+// store, the per-sample roots, and the estimator scratch. Methods are
+// not safe for concurrent use (they share scratch state).
+type collCore struct {
+	g     *graph.Graph
+	st    store
+	roots []int32
 
 	seedMark *bitset.Stamp // Coverage scratch, lazily allocated
 }
 
-// NewCollection returns an empty collection bound to a graph, a per-edge
-// probability vector and a base seed. The probabilities are materialized
-// into a graph.PieceLayout once, up front.
-func NewCollection(g *graph.Graph, probs []float64, seed uint64) (*Collection, error) {
-	lay, err := g.Layout(probs)
-	if err != nil {
-		return nil, fmt.Errorf("rrset: %w", err)
-	}
-	return NewCollectionLayout(lay, seed), nil
-}
-
-// NewCollectionLayout returns an empty collection sampling under a
-// prebuilt piece layout; callers that already hold layouts (for example
-// for cascade cross-validation) avoid rebuilding them.
-func NewCollectionLayout(lay *graph.PieceLayout, seed uint64) *Collection {
-	return &Collection{g: lay.Graph(), layout: lay, seed: seed, offsets: []int64{0}}
-}
-
 // Theta returns the number of sampled RR sets.
-func (c *Collection) Theta() int { return len(c.roots) }
+func (c *collCore) Theta() int { return len(c.roots) }
 
 // N returns the underlying graph's vertex count.
-func (c *Collection) N() int { return c.g.N() }
+func (c *collCore) N() int { return c.g.N() }
 
 // Set returns the i-th RR set (aliases internal storage).
-func (c *Collection) Set(i int) []int32 { return c.nodes[c.offsets[i]:c.offsets[i+1]] }
+func (c *collCore) Set(i int) []int32 { return c.st.set(int64(i)) }
 
 // Root returns the root of the i-th RR set.
-func (c *Collection) Root(i int) int32 { return c.roots[i] }
+func (c *collCore) Root(i int) int32 { return c.roots[i] }
 
 // TotalSize returns the summed cardinality of all RR sets.
-func (c *Collection) TotalSize() int { return len(c.nodes) }
+func (c *collCore) TotalSize() int { return c.st.totalSize() }
 
-// ExtendTo grows the collection to theta RR sets. Samples are generated
-// in parallel (work-stealing blocks) but indexed deterministically: set i
-// is always the same for a given (graph, probs, seed), regardless of when
-// or where it was generated.
-func (c *Collection) ExtendTo(theta int) {
-	start := c.Theta()
-	if theta <= start {
-		return
-	}
-	n := uint64(c.g.N())
-	blocks := sampleBlocks(c.g, theta-start, 1, func(s *sampler, i int, res *blockResult) {
-		rng := xrand.Derive(c.seed, uint64(start+i))
-		root := int32(rng.Uint64n(n))
-		res.roots = append(res.roots, root)
-		res.nodes = s.sample(root, c.layout, rng, res.nodes)
-		res.offsets = append(res.offsets, int64(len(res.nodes)))
-	})
-	for _, blk := range blocks {
-		base := int64(len(c.nodes))
-		for _, off := range blk.offsets {
-			c.offsets = append(c.offsets, base+off)
-		}
-		c.nodes = append(c.nodes, blk.nodes...)
-		c.roots = append(c.roots, blk.roots...)
-	}
-}
+// Shards returns the number of shard arenas backing the storage.
+func (c *collCore) Shards() int { return c.st.numShards() }
 
 // Coverage returns the number of RR sets intersected by seeds (linear
 // scan; the IM baselines use incremental coverage instead). Seed ids
 // outside the graph never match.
-func (c *Collection) Coverage(seeds []int32) int {
+func (c *collCore) Coverage(seeds []int32) int {
 	if c.seedMark == nil {
 		c.seedMark = bitset.NewStamp(c.g.N())
 	}
@@ -337,26 +184,206 @@ func (c *Collection) Coverage(seeds []int32) int {
 }
 
 // EstimateSpread estimates σ_im(seeds) = n · coverage / θ.
-func (c *Collection) EstimateSpread(seeds []int32) float64 {
+func (c *collCore) EstimateSpread(seeds []int32) float64 {
 	if c.Theta() == 0 {
 		return 0
 	}
 	return float64(c.g.N()) * float64(c.Coverage(seeds)) / float64(c.Theta())
 }
 
-// MRRCollection holds θ multi-RR samples over ℓ pieces: sample i consists
-// of a root and one RR set per piece, stored flattened at index i·ℓ+j.
-// Estimator methods share scratch state and are not safe for concurrent
-// use.
-type MRRCollection struct {
-	g       *graph.Graph
-	l       int
-	seed    uint64
-	roots   []int32
-	offsets []int64
-	nodes   []int32
+// Collection is a growable set of single-piece RR sets with sharded
+// flattened storage (see the package comment). It serves the IM
+// baselines; OIPA uses MRRCollection. Methods that grow or query the
+// collection are not safe for concurrent use.
+type Collection struct {
+	collCore
+	layout *graph.PieceLayout
+	seed   uint64
+}
+
+// View is an immutable read-side snapshot of a Collection. It exposes
+// the collection's query API (Set, Root, Theta, Coverage,
+// EstimateSpread, ...) over the sets present at snapshot time, and it
+// stays valid — bit-identical — even while the parent collection keeps
+// growing, because shard arenas are append-only. Taking a view copies
+// only slice headers, never set data. Like the collection itself, one
+// View value is not safe for concurrent use (estimators share scratch);
+// take one view per goroutine instead.
+type View struct {
+	collCore
+}
+
+// NewCollection returns an empty collection bound to a graph, a per-edge
+// probability vector and a base seed. The probabilities are materialized
+// into a graph.PieceLayout once, up front.
+func NewCollection(g *graph.Graph, probs []float64, seed uint64) (*Collection, error) {
+	lay, err := g.Layout(probs)
+	if err != nil {
+		return nil, fmt.Errorf("rrset: %w", err)
+	}
+	return NewCollectionLayout(lay, seed), nil
+}
+
+// NewCollectionLayout returns an empty collection sampling under a
+// prebuilt piece layout; callers that already hold layouts (for example
+// for cascade cross-validation) avoid rebuilding them.
+func NewCollectionLayout(lay *graph.PieceLayout, seed uint64) *Collection {
+	return &Collection{
+		collCore: collCore{g: lay.Graph(), st: store{setsPerSample: 1}},
+		layout:   lay,
+		seed:     seed,
+	}
+}
+
+// View returns an immutable snapshot of the collection's current sets.
+func (c *Collection) View() *View {
+	return &View{collCore{g: c.g, st: c.st.snapshot(), roots: c.roots[:len(c.roots):len(c.roots)]}}
+}
+
+// ExtendTo grows the collection to theta RR sets, in place: samples are
+// generated in parallel (work-stealing blocks appending into per-worker
+// shards) but indexed deterministically — set i is always the same for a
+// given (graph, probs, seed), regardless of when, where, or at what
+// shard count it was generated. Calling ExtendTo with theta ≤ Theta()
+// is a no-op: a collection never shrinks, and the existing sets are
+// untouched.
+func (c *Collection) ExtendTo(theta int) {
+	start := c.Theta()
+	if theta <= start {
+		return
+	}
+	count := theta - start
+	c.roots = append(c.roots, make([]int32, count)...)
+	n := uint64(c.g.N())
+	c.st.extend(c.g, count, func(s *sampler, i int, sh *shard) {
+		rng := xrand.Derive(c.seed, uint64(start+i))
+		root := int32(rng.Uint64n(n))
+		c.roots[start+i] = root
+		sh.nodes = s.sample(root, c.layout, rng, sh.nodes)
+		sh.closeSet()
+	})
+}
+
+// mrrCore is the read side shared by MRRCollection and MRRView: θ
+// multi-RR samples over ℓ pieces, sample i's piece-j set stored at
+// global set index i·ℓ+j. Estimator methods share scratch state and are
+// not safe for concurrent use.
+type mrrCore struct {
+	g     *graph.Graph
+	l     int
+	st    store
+	roots []int32
 
 	planMark []*bitset.Stamp // EstimateAUScan scratch, lazily allocated
+}
+
+// Theta returns the number of multi-RR samples.
+func (m *mrrCore) Theta() int { return len(m.roots) }
+
+// L returns the number of pieces.
+func (m *mrrCore) L() int { return m.l }
+
+// N returns the underlying graph's vertex count.
+func (m *mrrCore) N() int { return m.g.N() }
+
+// Root returns the root of sample i.
+func (m *mrrCore) Root(i int) int32 { return m.roots[i] }
+
+// Set returns R_i^j, the RR set of sample i for piece j (aliases internal
+// storage).
+func (m *mrrCore) Set(i, j int) []int32 {
+	return m.st.set(int64(i)*int64(m.l) + int64(j))
+}
+
+// TotalSize returns the summed cardinality of all RR sets.
+func (m *mrrCore) TotalSize() int { return m.st.totalSize() }
+
+// Shards returns the number of shard arenas backing the storage.
+func (m *mrrCore) Shards() int { return m.st.numShards() }
+
+// EstimateAUScan estimates σ(S̄) by scanning every RR set (Eq. 6 with the
+// zero-when-uncovered semantics of Eq. 1). It is O(total RR size) per
+// call; the solvers use the inverted Index instead. Plans may seed any
+// graph node, not just pool members; ids outside the graph never match.
+func (m *mrrCore) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
+	if len(plan) != m.l {
+		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
+	}
+	if err := model.Validate(); err != nil {
+		return 0, err
+	}
+	for len(m.planMark) < m.l {
+		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
+	}
+	// active[j]: piece j has at least one in-graph seed marked.
+	active := make([]bool, m.l)
+	for j, seeds := range plan {
+		st := m.planMark[j]
+		st.Reset()
+		for _, v := range seeds {
+			if v >= 0 && int(v) < m.g.N() {
+				st.Mark(int(v))
+				active[j] = true
+			}
+		}
+	}
+	total := 0.0
+	for i := 0; i < m.Theta(); i++ {
+		count := 0
+		for j := 0; j < m.l; j++ {
+			if !active[j] {
+				continue
+			}
+			st := m.planMark[j]
+			for _, v := range m.Set(i, j) {
+				if st.Marked(int(v)) {
+					count++
+					break
+				}
+			}
+		}
+		total += model.Adoption(count)
+	}
+	return float64(m.g.N()) * total / float64(m.Theta()), nil
+}
+
+// MRRCollection holds θ multi-RR samples over ℓ pieces in sharded
+// flattened storage (see the package comment). Estimator methods share
+// scratch state and are not safe for concurrent use.
+type MRRCollection struct {
+	mrrCore
+	seed    uint64
+	layouts []*graph.PieceLayout // nil when loaded from storage
+
+	// rootsPinned marks collections whose roots were supplied by the
+	// caller (SampleMRRWithRoots) rather than derived from (seed, i);
+	// extending one would silently mix two root distributions, so
+	// ExtendTo refuses.
+	rootsPinned bool
+}
+
+// MRRView is an immutable read-side snapshot of an MRRCollection, with
+// the same validity guarantee as View: it stays bit-identical even while
+// the parent collection keeps growing. One MRRView value is not safe for
+// concurrent use (estimators share scratch); take one view per
+// goroutine.
+type MRRView struct {
+	mrrCore
+}
+
+// View returns an immutable snapshot of the collection's current
+// samples.
+func (m *MRRCollection) View() *MRRView {
+	return &MRRView{mrrCore{g: m.g, l: m.l, st: m.st.snapshot(), roots: m.roots[:len(m.roots):len(m.roots)]}}
+}
+
+// newMRRCollection returns an empty collection over prebuilt layouts.
+func newMRRCollection(g *graph.Graph, layouts []*graph.PieceLayout, seed uint64) *MRRCollection {
+	return &MRRCollection{
+		mrrCore: mrrCore{g: g, l: len(layouts), st: store{setsPerSample: len(layouts)}},
+		seed:    seed,
+		layouts: layouts,
+	}
 }
 
 // SampleMRR draws theta multi-RR samples. pieceProbs[j] holds the per-edge
@@ -397,13 +424,10 @@ func SampleMRRLayouts(g *graph.Graph, layouts []*graph.PieceLayout, theta int, s
 	if theta <= 0 {
 		return nil, fmt.Errorf("rrset: non-positive theta %d", theta)
 	}
-	roots := make([]int32, theta)
-	for i := range roots {
-		rng := xrand.Derive(seed, uint64(i))
-		roots[i] = int32(rng.Uint64n(uint64(g.N())))
+	m := newMRRCollection(g, layouts, seed)
+	if err := m.ExtendTo(theta); err != nil {
+		return nil, err
 	}
-	m := &MRRCollection{g: g, l: len(layouts), seed: seed, roots: roots}
-	m.sampleInto(layouts, theta)
 	return m, nil
 }
 
@@ -423,8 +447,10 @@ func SampleMRRWithRoots(g *graph.Graph, pieceProbs [][]float64, roots []int32, s
 	if err != nil {
 		return nil, err
 	}
-	m := &MRRCollection{g: g, l: len(layouts), seed: seed, roots: append([]int32(nil), roots...)}
-	m.sampleInto(layouts, len(roots))
+	m := newMRRCollection(g, layouts, seed)
+	m.rootsPinned = true
+	m.roots = append([]int32(nil), roots...)
+	m.sampleRange(0, len(roots))
 	return m, nil
 }
 
@@ -440,93 +466,83 @@ func validateLayouts(g *graph.Graph, layouts []*graph.PieceLayout) error {
 	return nil
 }
 
-// sampleInto fills offsets/nodes for the first theta roots.
-func (m *MRRCollection) sampleInto(layouts []*graph.PieceLayout, theta int) {
+// ExtendTo grows the collection to theta multi-RR samples, in place:
+// roots for the new samples continue the (seed, i) derivation and the
+// new sets append into the existing shards, so set contents are
+// independent of how growth was scheduled. Calling ExtendTo with
+// theta ≤ Theta() is a no-op: a collection never shrinks, and the
+// existing samples are untouched. Two kinds of collection refuse to
+// grow (error on any theta > Theta()): collections loaded from storage,
+// which carry no piece layouts to sample with, and collections built by
+// SampleMRRWithRoots, whose caller-pinned roots would otherwise be
+// silently mixed with (seed, i)-derived ones.
+func (m *MRRCollection) ExtendTo(theta int) error {
+	start := m.Theta()
+	if theta <= start {
+		return nil
+	}
+	if m.layouts == nil {
+		return fmt.Errorf("rrset: collection loaded from storage has no piece layouts to extend with")
+	}
+	if m.rootsPinned {
+		return fmt.Errorf("rrset: collection has caller-pinned roots; extending would mix root distributions")
+	}
 	n := uint64(m.g.N())
-	blocks := sampleBlocks(m.g, theta, m.l, func(s *sampler, i int, res *blockResult) {
-		// Re-burn the root draw (same call, so the stream position
-		// matches SampleMRR exactly even when Uint64n rejects).
+	m.roots = append(m.roots, make([]int32, theta-start)...)
+	for i := start; i < theta; i++ {
 		rng := xrand.Derive(m.seed, uint64(i))
+		m.roots[i] = int32(rng.Uint64n(n))
+	}
+	m.sampleRange(start, theta)
+	return nil
+}
+
+// sampleRange samples the sets of roots [start, theta), which must
+// already be present in m.roots, optionally fusing the per-(piece,
+// node) membership counting that BuildIndex consumes into the sampling
+// blocks.
+func (m *MRRCollection) sampleRange(start, theta int) {
+	n := uint64(m.g.N())
+	gn := m.g.N()
+	l := m.l
+	// Fused counting costs an ℓ·n int32 array per shard, retained for
+	// the collection's lifetime; only pay that when it is small next to
+	// the sample data itself (total RR size is at least θ·ℓ entries).
+	// Past the threshold BuildIndex falls back to the counting walk —
+	// identical CSR either way (golden-tested), this only trades
+	// index-build time against resident memory. The budget is re-checked
+	// on every run: growth at higher parallelism adds shards (each with
+	// its own count array), and if that would blow the bound the counts
+	// are dropped for good — never re-enabled, since earlier samples
+	// would be missing from fresh counts.
+	withinBudget := gn*m.st.shardsAfter(theta-start) <= theta
+	if start == 0 {
+		m.st.counted = withinBudget
+	} else if m.st.counted && !withinBudget {
+		m.st.counted = false
+		for i := range m.st.shards {
+			m.st.shards[i].counts = nil
+		}
+	}
+	counted := m.st.counted
+	m.st.extend(m.g, theta-start, func(s *sampler, i int, sh *shard) {
+		// Re-burn the root draw (same call, so the stream position
+		// matches the root derivation exactly even when Uint64n rejects).
+		rng := xrand.Derive(m.seed, uint64(start+i))
 		rng.Uint64n(n)
-		for _, lay := range layouts {
-			res.nodes = s.sample(m.roots[i], lay, rng, res.nodes)
-			res.offsets = append(res.offsets, int64(len(res.nodes)))
+		if counted && sh.counts == nil {
+			sh.counts = make([]int32, l*gn)
 		}
-	})
-	m.offsets = make([]int64, 1, theta*m.l+1)
-	for _, blk := range blocks {
-		base := int64(len(m.nodes))
-		for _, off := range blk.offsets {
-			m.offsets = append(m.offsets, base+off)
-		}
-		m.nodes = append(m.nodes, blk.nodes...)
-	}
-}
-
-// Theta returns the number of multi-RR samples.
-func (m *MRRCollection) Theta() int { return len(m.roots) }
-
-// L returns the number of pieces.
-func (m *MRRCollection) L() int { return m.l }
-
-// N returns the underlying graph's vertex count.
-func (m *MRRCollection) N() int { return m.g.N() }
-
-// Root returns the root of sample i.
-func (m *MRRCollection) Root(i int) int32 { return m.roots[i] }
-
-// Set returns R_i^j, the RR set of sample i for piece j (aliases internal
-// storage).
-func (m *MRRCollection) Set(i, j int) []int32 {
-	idx := i*m.l + j
-	return m.nodes[m.offsets[idx]:m.offsets[idx+1]]
-}
-
-// TotalSize returns the summed cardinality of all RR sets.
-func (m *MRRCollection) TotalSize() int { return len(m.nodes) }
-
-// EstimateAUScan estimates σ(S̄) by scanning every RR set (Eq. 6 with the
-// zero-when-uncovered semantics of Eq. 1). It is O(total RR size) per
-// call; the solvers use the inverted Index instead. Plans may seed any
-// graph node, not just pool members; ids outside the graph never match.
-func (m *MRRCollection) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
-	if len(plan) != m.l {
-		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
-	}
-	if err := model.Validate(); err != nil {
-		return 0, err
-	}
-	for len(m.planMark) < m.l {
-		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
-	}
-	// active[j]: piece j has at least one in-graph seed marked.
-	active := make([]bool, m.l)
-	for j, seeds := range plan {
-		st := m.planMark[j]
-		st.Reset()
-		for _, v := range seeds {
-			if v >= 0 && int(v) < m.g.N() {
-				st.Mark(int(v))
-				active[j] = true
-			}
-		}
-	}
-	total := 0.0
-	for i := 0; i < m.Theta(); i++ {
-		count := 0
-		for j := 0; j < m.l; j++ {
-			if !active[j] {
-				continue
-			}
-			st := m.planMark[j]
-			for _, v := range m.Set(i, j) {
-				if st.Marked(int(v)) {
-					count++
-					break
+		for j, lay := range m.layouts {
+			setStart := len(sh.nodes)
+			sh.nodes = s.sample(m.roots[start+i], lay, rng, sh.nodes)
+			if counted {
+				counts := sh.counts[j*gn : (j+1)*gn]
+				for _, v := range sh.nodes[setStart:] {
+					counts[v]++
 				}
 			}
+			sh.closeSet()
 		}
-		total += model.Adoption(count)
-	}
-	return float64(m.g.N()) * total / float64(m.Theta()), nil
+	})
 }

@@ -161,6 +161,9 @@ func TestCollectionParallelMatchesSerial(t *testing.T) {
 }
 
 func TestEstimateSpreadUnbiased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo cross-check skipped in -short mode")
+	}
 	// RR-based spread estimates must agree with forward Monte Carlo.
 	g, probs := randomTestGraph(t, 7, 50, 200)
 	seeds := []int32{0, 7, 23}
@@ -313,6 +316,9 @@ func TestMRRRootsMatchSampleMRRWithRoots(t *testing.T) {
 }
 
 func TestEstimateAUScanUnbiased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo cross-check skipped in -short mode")
+	}
 	// The MRR estimator must agree with the forward Monte-Carlo adoption
 	// estimate (the package's ground truth).
 	g, probs := randomTestGraph(t, 10, 60, 250)

@@ -1,0 +1,325 @@
+package rrset
+
+// Schedule-invariance and growth tests for the sharded path, mirroring
+// geoskip_test.go's work-stealing tests: shard count and growth schedule
+// must never leak into results, serialized bytes, or previously taken
+// views, and the fused BuildIndex counting must emit the same inverted
+// CSR as the classic sample-major walk.
+
+import (
+	"bytes"
+	"runtime"
+	"slices"
+	"testing"
+
+	"oipa/internal/xrand"
+)
+
+// TestShardedWriteBytesScheduleInvariance serializes the same MRR
+// sampling at several shard counts (including ones that do not divide
+// the block count) and requires byte-identical output: the canonical
+// sample-major serialization must erase the physical shard layout.
+func TestShardedWriteBytesScheduleInvariance(t *testing.T) {
+	g, probs := wcGraph(t, 29, 400, 4800)
+	const theta = 450 // 7 full blocks of 64 plus a 2-sample tail
+	serialize := func(workers int) []byte {
+		var buf bytes.Buffer
+		atGOMAXPROCS(workers, func() {
+			m, err := SampleMRR(g, probs, theta, 41)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if workers > 1 && m.Shards() < 2 {
+				t.Fatalf("workers=%d produced %d shards", workers, m.Shards())
+			}
+			if err := m.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return buf.Bytes()
+	}
+	ref := serialize(1)
+	for _, workers := range []int{2, 3, 5, runtime.NumCPU()} {
+		if got := serialize(workers); !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d: serialized bytes differ from serial run", workers)
+		}
+	}
+}
+
+// TestShardedExtendToMonotonic grows a collection in irregular steps,
+// each at a different parallelism, and requires the result to be
+// bit-identical to a one-shot sample — and every view taken along the
+// way to keep exposing exactly the prefix it snapshotted, untouched by
+// later growth.
+func TestShardedExtendToMonotonic(t *testing.T) {
+	g, probs := wcGraph(t, 31, 500, 6000)
+	lay, err := g.Layout(probs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const theta = 1000
+	oneShot := NewCollectionLayout(lay, 77)
+	oneShot.ExtendTo(theta)
+
+	grown := NewCollectionLayout(lay, 77)
+	steps := []struct{ theta, workers int }{
+		{1, 1}, {37, 2}, {100, 3}, {421, 1}, {1000, 5},
+	}
+	type snap struct {
+		view  *View
+		theta int
+		sets  [][]int32 // deep copies at snapshot time
+	}
+	var snaps []snap
+	for _, st := range steps {
+		atGOMAXPROCS(st.workers, func() { grown.ExtendTo(st.theta) })
+		v := grown.View()
+		s := snap{view: v, theta: st.theta}
+		for i := 0; i < st.theta; i++ {
+			s.sets = append(s.sets, append([]int32(nil), v.Set(i)...))
+		}
+		snaps = append(snaps, s)
+	}
+	if grown.Theta() != theta || grown.TotalSize() != oneShot.TotalSize() {
+		t.Fatalf("grown shape (θ=%d, size=%d) != one-shot (θ=%d, size=%d)",
+			grown.Theta(), grown.TotalSize(), theta, oneShot.TotalSize())
+	}
+	for i := 0; i < theta; i++ {
+		if grown.Root(i) != oneShot.Root(i) || !slices.Equal(grown.Set(i), oneShot.Set(i)) {
+			t.Fatalf("set %d differs between stepped and one-shot growth", i)
+		}
+	}
+	for si, s := range snaps {
+		if s.view.Theta() != s.theta {
+			t.Fatalf("snapshot %d: theta drifted from %d to %d", si, s.theta, s.view.Theta())
+		}
+		for i := 0; i < s.theta; i++ {
+			if !slices.Equal(s.view.Set(i), s.sets[i]) {
+				t.Fatalf("snapshot %d: set %d changed after later growth", si, i)
+			}
+		}
+	}
+}
+
+// TestExtendToSmallerThetaNoOp pins the documented contract: ExtendTo
+// with theta ≤ Theta() leaves the collection untouched — same theta,
+// same sets, no resampling.
+func TestExtendToSmallerThetaNoOp(t *testing.T) {
+	g, probs := randomTestGraph(t, 33, 40, 160)
+	lay, err := g.Layout(probs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollectionLayout(lay, 3)
+	c.ExtendTo(120)
+	before := c.View()
+	for _, smaller := range []int{119, 120, 64, 1, 0, -5} {
+		c.ExtendTo(smaller)
+		if c.Theta() != 120 {
+			t.Fatalf("ExtendTo(%d) changed theta to %d", smaller, c.Theta())
+		}
+	}
+	for i := 0; i < 120; i++ {
+		if !slices.Equal(c.Set(i), before.Set(i)) {
+			t.Fatalf("ExtendTo no-op changed set %d", i)
+		}
+	}
+
+	m, err := SampleMRR(g, probs, 90, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := m.TotalSize()
+	for _, smaller := range []int{89, 90, 10, 0, -1} {
+		if err := m.ExtendTo(smaller); err != nil {
+			t.Fatalf("MRR ExtendTo(%d) errored: %v", smaller, err)
+		}
+		if m.Theta() != 90 || m.TotalSize() != size {
+			t.Fatalf("MRR ExtendTo(%d) changed the collection", smaller)
+		}
+	}
+}
+
+// TestLoadedMRRExtendToRejected: collections loaded from storage carry
+// no piece layouts; growing them must fail loudly, while no-op calls
+// stay no-ops.
+func TestLoadedMRRExtendToRejected(t *testing.T) {
+	g, probs := randomTestGraph(t, 34, 30, 120)
+	m, err := SampleMRR(g, probs, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMRR(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.ExtendTo(40); err != nil {
+		t.Fatalf("no-op ExtendTo on loaded collection errored: %v", err)
+	}
+	if err := back.ExtendTo(60); err == nil {
+		t.Fatal("growing a loaded collection silently succeeded")
+	}
+	if back.Theta() != 50 {
+		t.Fatalf("failed ExtendTo changed theta to %d", back.Theta())
+	}
+}
+
+// TestPinnedRootsMRRExtendToRejected: collections built from
+// caller-provided roots must refuse to grow — appending (seed, i)-derived
+// roots would silently mix two root distributions.
+func TestPinnedRootsMRRExtendToRejected(t *testing.T) {
+	g, probs := randomTestGraph(t, 37, 30, 120)
+	m, err := SampleMRRWithRoots(g, probs, []int32{2, 0, 7, 2, 11}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExtendTo(3); err != nil {
+		t.Fatalf("no-op ExtendTo on pinned-roots collection errored: %v", err)
+	}
+	if err := m.ExtendTo(10); err == nil {
+		t.Fatal("growing a pinned-roots collection silently succeeded")
+	}
+	if m.Theta() != 5 {
+		t.Fatalf("failed ExtendTo changed theta to %d", m.Theta())
+	}
+}
+
+// naiveIndexCSR is the pre-fusion BuildIndex: a counting walk over every
+// set followed by a sample-major fill. The fused path must emit exactly
+// this CSR.
+func naiveIndexCSR(m *MRRCollection, pool []int32) (off []int64, samples []int32) {
+	pos := make(map[int32]int32, len(pool))
+	for p, v := range pool {
+		pos[v] = int32(p)
+	}
+	l, theta, pp := m.L(), m.Theta(), len(pool)
+	counts := make([]int64, l*pp+1)
+	for i := 0; i < theta; i++ {
+		for j := 0; j < l; j++ {
+			for _, v := range m.Set(i, j) {
+				if p, ok := pos[v]; ok {
+					counts[j*pp+int(p)+1]++
+				}
+			}
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	samples = make([]int32, counts[len(counts)-1])
+	cursor := make([]int64, l*pp)
+	for i := 0; i < theta; i++ {
+		for j := 0; j < l; j++ {
+			for _, v := range m.Set(i, j) {
+				if p, ok := pos[v]; ok {
+					slot := j*pp + int(p)
+					samples[counts[slot]+cursor[slot]] = int32(i)
+					cursor[slot]++
+				}
+			}
+		}
+	}
+	return counts, samples
+}
+
+// TestBuildIndexGoldenFusedVsWalk pins the fused counting pass: the CSR
+// built from shard-local counts (sampled collection, several shard
+// counts) and the CSR built by the counting-walk fallback (loaded
+// collection) must both equal the naive sample-major construction.
+func TestBuildIndexGoldenFusedVsWalk(t *testing.T) {
+	g, probs := randomTestGraph(t, 35, 60, 260)
+	r := xrand.New(99)
+	pool := make([]int32, 0, 20)
+	for _, p := range r.Sample(60, 20) {
+		pool = append(pool, int32(p))
+	}
+	for _, workers := range []int{1, 4} {
+		atGOMAXPROCS(workers, func() {
+			// Grow in two runs, the second at higher parallelism: the
+			// fused counts must accumulate across runs, including on
+			// shards the second run creates (which allocate their count
+			// arrays lazily). The first run's theta keeps the counting
+			// gate (n·workers ≤ θ) enabled at every tested worker count.
+			m, err := SampleMRR(g, probs, 250, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			atGOMAXPROCS(workers+2, func() {
+				if err := m.ExtendTo(600); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if !m.st.counted {
+				t.Fatal("sampled collection lost its fused counts")
+			}
+			if m.Shards() <= workers {
+				t.Fatalf("second run at %d workers added no shards to %d", workers+2, m.Shards())
+			}
+			wantOff, wantSamples := naiveIndexCSR(m, pool)
+			ix, err := m.BuildIndex(pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(ix.off, wantOff) || !slices.Equal(ix.samples, wantSamples) {
+				t.Fatalf("workers=%d: fused CSR differs from sample-major walk", workers)
+			}
+
+			var buf bytes.Buffer
+			if err := m.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadMRR(&buf, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.st.counted {
+				t.Fatal("loaded collection claims fused counts")
+			}
+			ix2, err := back.BuildIndex(pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(ix2.off, wantOff) || !slices.Equal(ix2.samples, wantSamples) {
+				t.Fatalf("workers=%d: counting-walk CSR differs from sample-major walk", workers)
+			}
+		})
+	}
+}
+
+// TestIndexViewFrozenAfterGrowth: an Index snapshots the collection at
+// build time; growing the collection afterwards must not change what the
+// index (or its MRR view) reports.
+func TestIndexViewFrozenAfterGrowth(t *testing.T) {
+	g, probs := randomTestGraph(t, 36, 40, 170)
+	m, err := SampleMRR(g, probs, 100, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []int32{0, 3, 7, 11, 19}
+	ix, err := m.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := [][]int32{{0, 7}, {19}}
+	before, err := ix.EstimateAU(plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExtendTo(400); err != nil {
+		t.Fatal(err)
+	}
+	if ix.MRR().Theta() != 100 {
+		t.Fatalf("index view theta drifted to %d", ix.MRR().Theta())
+	}
+	after, err := ix.EstimateAU(plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("index estimate changed after growth: %v vs %v", before, after)
+	}
+}
