@@ -1,0 +1,31 @@
+# OIPA build / test / benchmark entry points.
+
+GO ?= go
+
+.PHONY: build test race short vet bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+# Machine-readable serving-path benchmarks: regenerates BENCH_serve.json
+# at the repo root (tracked — each PR commits its trajectory point; see
+# cmd/oipa-bench and BENCH.md).
+bench:
+	$(GO) run ./cmd/oipa-bench -out BENCH_serve.json
+
+# Fast variant for CI: small dataset, small theta, report to stdout so
+# the tracked trajectory file is not clobbered with smoke-scale numbers.
+bench-smoke:
+	$(GO) run ./cmd/oipa-bench -out - -scale 0.3 -theta 5000

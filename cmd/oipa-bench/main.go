@@ -1,0 +1,196 @@
+// Command oipa-bench runs the serving-path micro-benchmarks in-process
+// (via testing.Benchmark) and writes a machine-readable JSON report, so
+// the repository's performance trajectory is tracked as data rather than
+// prose. `make bench` writes BENCH_serve.json at the repo root.
+//
+// Usage:
+//
+//	oipa-bench -out BENCH_serve.json [-scale 1.0] [-theta 50000]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"oipa/internal/core"
+	"oipa/internal/gen"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/rrset"
+	"oipa/internal/topic"
+	"oipa/internal/xrand"
+)
+
+// result is one benchmark row of the report.
+type result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	Theta      int     `json:"theta"`
+	Graph      struct {
+		N int `json:"n"`
+		M int `json:"m"`
+		Z int `json:"z"`
+	} `json:"graph"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oipa-bench: ")
+	var (
+		out   = flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+		scale = flag.Float64("scale", 1.0, "lastfm dataset scale")
+		theta = flag.Int("theta", 50_000, "MRR samples for sampling/solve benchmarks")
+		k     = flag.Int("k", 10, "solve budget")
+	)
+	flag.Parse()
+
+	dataset, err := gen.LastfmSim(*scale, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := dataset.G
+	pool, err := gen.PromoterPool(g, 0.10, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign := topic.UniformCampaign("bench", 3, g.Z(), xrand.New(7))
+	prob := &core.Problem{
+		G:        g,
+		Campaign: campaign,
+		Pool:     pool,
+		K:        *k,
+		Model:    logistic.Model{Alpha: 2, Beta: 1},
+	}
+
+	// Shared prepared state for the hit-path benchmarks.
+	cache := graph.NewLayoutCache(g, 64)
+	layouts := make([]*graph.PieceLayout, campaign.L())
+	for j, piece := range campaign.Pieces {
+		if layouts[j], err = cache.Get(piece.Dist); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inst, err := core.PrepareLayouts(prob, layouts, *theta, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evals := core.NewEvaluatorPool(inst)
+	view := inst.Index.MRR()
+	est := view.NewEstimator()
+	greedy, err := evals.SolveGreedy(inst, core.BABOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Theta:      *theta,
+	}
+	rep.Graph.N, rep.Graph.M, rep.Graph.Z = g.N(), g.M(), g.Z()
+
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		log.Printf("%-28s %12.0f ns/op  %8d B/op  %6d allocs/op",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	piece := campaign.Pieces[0].Dist
+	run("layout_build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Layout(g.PieceProbs(piece)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("layout_cache_hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Get(piece); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("sample_mrr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rrset.SampleMRRLayouts(g, layouts, *theta, uint64(i)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("prepare_layouts", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PrepareLayouts(prob, layouts, *theta, uint64(i)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("solve_greedy_pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := evals.SolveGreedy(inst, core.BABOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("solve_babp_pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := evals.SolveBABP(inst, core.DefaultBABPOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("estimate_au_view", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EstimateAU(greedy.Plan.Seeds, prob.Model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		fmt.Print(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

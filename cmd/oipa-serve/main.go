@@ -1,0 +1,101 @@
+// Command oipa-serve runs the OIPA influence-query service: it loads a
+// stored graph once, selects a promoter pool, and answers solve /
+// estimate / simulate queries concurrently over shared immutable state
+// (see internal/serve for the endpoint reference).
+//
+// Usage:
+//
+//	oipa-gen -preset lastfm -out lastfm.graph
+//	oipa-serve -graph lastfm.graph -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "campaign": {"name": "demo", "pieces": [
+//	    {"name": "a", "topics": {"0": 1}},
+//	    {"name": "b", "topics": {"3": 1}}]},
+//	  "method": "babp", "k": 20, "theta": 100000}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oipa/internal/gen"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oipa-serve: ")
+	var (
+		graphPath = flag.String("graph", "", "input graph file from oipa-gen (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		poolFrac  = flag.Float64("pool", 0.10, "promoter pool fraction")
+		poolSeed  = flag.Uint64("poolseed", 2, "promoter pool selection seed")
+		ratio     = flag.Float64("ratio", 0.5, "beta/alpha ratio of the default adoption model (beta=1)")
+		theta     = flag.Int("theta", 50_000, "default MRR samples per prepared instance")
+		maxTheta  = flag.Int("maxtheta", 2_000_000, "reject requests above this many samples")
+		layouts   = flag.Int("layouts", 128, "piece-layout cache capacity")
+		instances = flag.Int("instances", 8, "prepared-instance cache capacity")
+		workers   = flag.Int("workers", 0, "async solve workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "async job backlog bound")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := graph.Load(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := gen.PromoterPool(g, *poolFrac, *poolSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Graph:            g,
+		Pool:             pool,
+		Model:            logistic.Model{Alpha: 1 / *ratio, Beta: 1},
+		DefaultTheta:     *theta,
+		MaxTheta:         *maxTheta,
+		LayoutCapacity:   *layouts,
+		InstanceCapacity: *instances,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.PublishExpvar("oipa-serve")
+	log.Printf("graph %s: n=%d m=%d topics=%d, pool=%d promoters", *graphPath, g.N(), g.M(), g.Z(), len(pool))
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+	log.Printf("listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -13,34 +13,29 @@ package cascade
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
 	"oipa/internal/bitset"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
+	"oipa/internal/traverse"
 	"oipa/internal/xrand"
 )
-
-// geoSkipMinDeg mirrors the rrset sampler's flip/geometric-skip degree
-// cutoff for uniform-probability nodes.
-const geoSkipMinDeg = 8
 
 // Simulator runs IC cascades over one fixed per-edge probability vector
 // (one viral piece's homogeneous influence graph), viewed through a
 // graph.PieceLayout: probabilities are read in forward-CSR position
 // order, and nodes whose out-edges share one probability are expanded
-// with geometric-skip jumps — the forward analogue of the RR sampler's
-// hot loop. It is not safe for concurrent use; create one per goroutine
-// (see EstimateSpread).
+// with geometric-skip jumps — the same traverse.Walker core the RR
+// sampler runs in reverse. It is not safe for concurrent use; create one
+// per goroutine (see EstimateSpread).
 type Simulator struct {
-	g       *graph.Graph
-	lay     *graph.PieceLayout
-	outOff  []int64
-	outTo   []int32
-	visited *bitset.Stamp
-	queue   []int32
+	g      *graph.Graph
+	lay    *graph.PieceLayout
+	outOff []int64
+	outTo  []int32
+	w      *traverse.Walker
 }
 
 // NewSimulator returns a simulator for the given graph and per-edge
@@ -61,117 +56,23 @@ func NewSimulatorLayout(lay *graph.PieceLayout) *Simulator {
 	g := lay.Graph()
 	outOff, outTo := g.OutCSR()
 	return &Simulator{
-		g:       g,
-		lay:     lay,
-		outOff:  outOff,
-		outTo:   outTo,
-		visited: bitset.NewStamp(g.N()),
-		queue:   make([]int32, 0, 1024),
+		g:      g,
+		lay:    lay,
+		outOff: outOff,
+		outTo:  outTo,
+		w:      traverse.NewWalker(g.N()),
 	}
 }
 
 // Run performs one cascade from the seed set and returns the number of
-// activated nodes (including seeds). If out is non-nil, activated node ids
-// are appended to it.
+// activated nodes (including seeds; duplicate seeds count once). If out
+// is non-nil, activated node ids are appended to it in activation order.
 func (s *Simulator) Run(seeds []int32, rng *xrand.SplitMix64, out *[]int32) int {
-	s.visited.Reset()
-	s.queue = s.queue[:0]
-	for _, v := range seeds {
-		if s.visited.MarkOnce(int(v)) {
-			s.queue = append(s.queue, v)
-			if out != nil {
-				*out = append(*out, v)
-			}
-		}
+	order := s.w.Run(s.outOff, s.outTo, s.lay.OutDist, s.lay.OutProbs, seeds, rng)
+	if out != nil {
+		*out = append(*out, order...)
 	}
-	activated := len(s.queue)
-	for head := 0; head < len(s.queue); head++ {
-		u := s.queue[head]
-		lo, hi := s.outOff[u], s.outOff[u+1]
-		if lo == hi {
-			continue
-		}
-		dist := &s.lay.OutDist[u]
-		switch p := dist.Uniform; {
-		case p == 0:
-			// Every out-edge is dead.
-		case p > 0 && p < 1:
-			if hi-lo <= geoSkipMinDeg {
-				for pos := lo; pos < hi; pos++ {
-					if rng.Float64() >= p {
-						continue
-					}
-					if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
-						s.queue = append(s.queue, v)
-						activated++
-						if out != nil {
-							*out = append(*out, v)
-						}
-					}
-				}
-				continue
-			}
-			// Geometric skip (see the rrset sampler): the first draw
-			// doubles as the all-dead test via the packed QD.
-			u0 := rng.Float64()
-			if u0 <= dist.QD {
-				continue
-			}
-			invLogQ := dist.InvLogQ
-			pos := lo + int64(math.Log(u0)*invLogQ)
-			if pos >= hi {
-				// Rounding guard: see the rrset sampler.
-				continue
-			}
-			for {
-				if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
-					s.queue = append(s.queue, v)
-					activated++
-					if out != nil {
-						*out = append(*out, v)
-					}
-				}
-				pos++
-				if pos >= hi {
-					break
-				}
-				jump := math.Log(rng.Float64()) * invLogQ
-				if jump >= float64(hi-pos) {
-					break
-				}
-				pos += int64(jump)
-			}
-		case p >= 1:
-			for pos := lo; pos < hi; pos++ {
-				if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
-					s.queue = append(s.queue, v)
-					activated++
-					if out != nil {
-						*out = append(*out, v)
-					}
-				}
-			}
-		default: // mixed probabilities: one flip per live-candidate edge
-			probs := s.lay.OutProbs
-			for pos := lo; pos < hi; pos++ {
-				q := probs[pos]
-				if q <= 0 {
-					continue
-				}
-				if q < 1 && rng.Float64() >= q {
-					continue
-				}
-				if v := s.outTo[pos]; s.visited.MarkOnce(int(v)) {
-					s.queue = append(s.queue, v)
-					activated++
-					if out != nil {
-						*out = append(*out, v)
-					}
-				}
-			}
-		}
-	}
-	return activated
+	return len(order)
 }
 
 // EstimateSpread estimates the expected influence spread σ_im(S) of seeds

@@ -38,6 +38,14 @@ type BABOptions struct {
 	// τ-evaluation bound. Enabled by DefaultBABPOptions; zero value is
 	// the paper-literal Algorithm 3.
 	FillAfterFloor bool
+	// Stop, when non-nil, asks the search to return early: as soon as the
+	// channel is closed (or receives), the best incumbent found so far is
+	// returned together with the residual global upper bound, exactly as
+	// when MaxNodes is hit. It is checked once per node expansion, so a
+	// solve already inside a bound computation finishes that computation
+	// first. This is the reentrant cancellation hook the query service
+	// wires to HTTP request contexts and job cancellation.
+	Stop <-chan struct{}
 	// RawGap measures the termination gap on the raw Eq. (6) scale, in
 	// which every user — covered or not — contributes at least
 	// Sigmoid(−α). The paper's L and U both carry that additive
@@ -100,19 +108,36 @@ func (h *babHeap) Pop() interface{} {
 // MRR-estimated utility is within (1−1/e)/(1+Tolerance) of the
 // MRR-estimated optimum (Theorem 2).
 func SolveBAB(inst *Instance, opts BABOptions) (*Result, error) {
+	return solveBABWith(inst, newEvaluator(inst), opts)
+}
+
+// solveBABWith applies the BAB entry-point normalization once for both
+// the plain and the pooled path.
+func solveBABWith(inst *Instance, ev *evaluator, opts BABOptions) (*Result, error) {
 	opts.Progressive = false
-	return solveBranchAndBound(inst, opts, "BAB")
+	return solveBranchAndBound(inst, ev, opts, "BAB")
 }
 
 // SolveBABP runs branch-and-bound with the progressive upper-bound
 // estimator (Algorithm 3), achieving (1−1/e−ε)/(1+Tolerance) with far
 // fewer τ evaluations (Theorems 3 and 4).
 func SolveBABP(inst *Instance, opts BABOptions) (*Result, error) {
-	opts.Progressive = true
-	if opts.Epsilon <= 0 {
-		return nil, fmt.Errorf("core: BAB-P requires a positive epsilon, got %v", opts.Epsilon)
+	if err := validateBABP(opts); err != nil {
+		return nil, err
 	}
-	return solveBranchAndBound(inst, opts, "BAB-P")
+	return solveBABPWith(inst, newEvaluator(inst), opts)
+}
+
+func validateBABP(opts BABOptions) error {
+	if opts.Epsilon <= 0 {
+		return fmt.Errorf("core: BAB-P requires a positive epsilon, got %v", opts.Epsilon)
+	}
+	return nil
+}
+
+func solveBABPWith(inst *Instance, ev *evaluator, opts BABOptions) (*Result, error) {
+	opts.Progressive = true
+	return solveBranchAndBound(inst, ev, opts, "BAB-P")
 }
 
 // SolveGreedy runs a single bound computation from the empty plan and
@@ -121,11 +146,21 @@ func SolveBABP(inst *Instance, opts BABOptions) (*Result, error) {
 // is a strong, cheap heuristic and the natural ablation for how much the
 // search itself adds.
 func SolveGreedy(inst *Instance, opts BABOptions) (*Result, error) {
-	if opts.Progressive && opts.Epsilon <= 0 {
-		return nil, fmt.Errorf("core: progressive greedy requires a positive epsilon")
+	if err := validateGreedy(opts); err != nil {
+		return nil, err
 	}
+	return solveGreedy(inst, newEvaluator(inst), opts)
+}
+
+func validateGreedy(opts BABOptions) error {
+	if opts.Progressive && opts.Epsilon <= 0 {
+		return fmt.Errorf("core: progressive greedy requires a positive epsilon")
+	}
+	return nil
+}
+
+func solveGreedy(inst *Instance, ev *evaluator, opts BABOptions) (*Result, error) {
 	start := time.Now()
-	ev := newEvaluator(inst)
 	ev.prepare(nil, nil)
 	var br boundResult
 	switch {
@@ -137,7 +172,7 @@ func SolveGreedy(inst *Instance, opts BABOptions) (*Result, error) {
 		br = ev.computeBound(inst.Problem.K)
 	}
 	plan := ev.materialize(nil, br.picks)
-	util, err := inst.EstimateAU(plan)
+	util, err := inst.Index.EstimateAUWith(plan.Seeds, inst.Problem.Model, ev.au)
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +190,11 @@ func SolveGreedy(inst *Instance, opts BABOptions) (*Result, error) {
 	}, nil
 }
 
-func solveBranchAndBound(inst *Instance, opts BABOptions, name string) (*Result, error) {
+func solveBranchAndBound(inst *Instance, ev *evaluator, opts BABOptions, name string) (*Result, error) {
 	if opts.Tolerance < 0 {
 		return nil, fmt.Errorf("core: negative tolerance %v", opts.Tolerance)
 	}
 	start := time.Now()
-	ev := newEvaluator(inst)
 	k := inst.Problem.K
 	stats := SolverStats{}
 
@@ -179,7 +213,7 @@ func solveBranchAndBound(inst *Instance, opts BABOptions, name string) (*Result,
 
 	evaluate := func(plan *planNode, picks []candidate) (Plan, float64, error) {
 		p := ev.materialize(plan, picks)
-		util, err := inst.EstimateAU(p)
+		util, err := inst.Index.EstimateAUWith(p.Seeds, inst.Problem.Model, ev.au)
 		return p, util, err
 	}
 
@@ -210,7 +244,19 @@ func solveBranchAndBound(inst *Instance, opts BABOptions, name string) (*Result,
 		return upper+gapBase <= (bestUtil+gapBase)*(1+opts.Tolerance)
 	}
 
-	for h.Len() > 0 {
+	stopped := false
+	for h.Len() > 0 && !stopped {
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				// Canceled: return the incumbent with the residual global
+				// upper bound — still a valid (utility, upper) pair, since
+				// bounds only shrink as the search proceeds.
+				stopped = true
+				continue
+			default:
+			}
+		}
 		node := heap.Pop(h).(*babNode)
 		// The heap is ordered by upper bound, so the popped entry carries
 		// the global upper bound over all unexplored subtrees.
@@ -251,7 +297,7 @@ func solveBranchAndBound(inst *Instance, opts BABOptions, name string) (*Result,
 			}
 		}
 	}
-	if h.Len() == 0 {
+	if h.Len() == 0 && !stopped {
 		// Search space exhausted: every subtree was expanded or pruned
 		// against an incumbent no better than the final one, so the
 		// residual upper bound is at most bestUtil·(1+tol).

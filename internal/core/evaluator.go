@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+
+	"oipa/internal/rrset"
 )
 
 // A candidate is an (assignment) pair of a campaign piece and a promoter,
@@ -46,6 +48,11 @@ type evaluator struct {
 	gains []float64
 	order []candidate
 
+	// Scratch for incumbent utility estimates (Index.EstimateAUWith):
+	// created on first bind, reused across every evaluation so the
+	// search loop allocates no θ-sized arrays per node.
+	au *rrset.AUScratch
+
 	// tauSum is Σ_i τ_i in per-sample units; multiply by n/θ for the
 	// utility scale.
 	tauSum float64
@@ -54,11 +61,19 @@ type evaluator struct {
 }
 
 func newEvaluator(inst *Instance) *evaluator {
-	l := inst.L()
-	pp := inst.Index.PoolSize()
-	theta := inst.MRR.Theta()
+	ev := allocEvaluator(inst.L(), inst.Index.PoolSize(), inst.MRR.Theta())
+	ev.bind(inst)
+	return ev
+}
+
+// allocEvaluator allocates the scratch arrays for instances of the given
+// shape, without binding to a particular instance: the per-sample state
+// depends only on theta and the candidate state only on l·pp, so one
+// allocation serves every instance sharing these sizes (an instance and
+// its WithK/WithModel/WithBoundMode derivatives). EvaluatorPool recycles
+// these allocations across concurrent solves.
+func allocEvaluator(l, pp, theta int) *evaluator {
 	ev := &evaluator{
-		inst:       inst,
 		l:          l,
 		pp:         pp,
 		numCands:   l * pp,
@@ -77,14 +92,43 @@ func newEvaluator(inst *Instance) *evaluator {
 	for cA := 0; cA <= l; cA++ {
 		ev.value[cA] = make([]float64, l+1)
 		ev.marg[cA] = make([]float64, l+1)
-		for c := cA; c <= l; c++ {
+	}
+	return ev
+}
+
+// bind points the evaluator at an instance of its shape: it loads the
+// instance's tangent bound tables (which differ across WithModel /
+// WithBoundMode derivatives) and zeroes the per-solve counters. The
+// per-sample scratch is assumed clean (fresh allocation or released via
+// resetScratch).
+func (ev *evaluator) bind(inst *Instance) {
+	ev.inst = inst
+	ev.tauEvals = 0
+	if ev.au == nil {
+		ev.au = inst.Index.NewAUScratch()
+	}
+	for cA := 0; cA <= ev.l; cA++ {
+		for c := cA; c <= ev.l; c++ {
 			ev.value[cA][c] = inst.Bounds.Value(cA, c)
-			if c < l {
+			if c < ev.l {
 				ev.marg[cA][c] = inst.Bounds.Marginal(cA, c)
 			}
 		}
 	}
-	return ev
+}
+
+// resetScratch clears the dirty per-sample state and drops the instance
+// reference, leaving the evaluator ready for a future bind. Cost is
+// proportional to the last evaluation's touched samples.
+func (ev *evaluator) resetScratch() {
+	for _, i := range ev.dirty {
+		ev.masks[i] = 0
+		ev.cnts[i] = 0
+		ev.refs[i] = 0
+	}
+	ev.dirty = ev.dirty[:0]
+	ev.tauSum = 0
+	ev.inst = nil
 }
 
 func (ev *evaluator) pieceOf(c candidate) int   { return int(c) / ev.pp }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EvaluatorPool recycles solver scratch across solves so a long-running
+// service answering many queries over one prepared Instance does not
+// allocate the O(θ + ℓ·|pool|) evaluator arrays per request. The pool is
+// safe for concurrent use: each Solve* call checks out a private
+// evaluator for its duration (the Instance, Index and MRR view it reads
+// are immutable and shared), so any number of pooled solves may run in
+// parallel on one instance without data races.
+//
+// A pool is shaped by (ℓ, |pool|, θ) at construction; it serves the
+// instance it was built for and any WithK / WithModel / WithBoundMode
+// derivative (those share the shape, and bind reloads the bound tables
+// per solve). Solving an instance of a different shape is an error.
+type EvaluatorPool struct {
+	l, pp, theta int
+	pool         sync.Pool
+}
+
+// NewEvaluatorPool returns a pool shaped for inst and its derivatives.
+func NewEvaluatorPool(inst *Instance) *EvaluatorPool {
+	p := &EvaluatorPool{l: inst.L(), pp: inst.Index.PoolSize(), theta: inst.MRR.Theta()}
+	p.pool.New = func() interface{} { return allocEvaluator(p.l, p.pp, p.theta) }
+	return p
+}
+
+// Compatible reports whether inst matches the pool's scratch shape.
+func (p *EvaluatorPool) Compatible(inst *Instance) bool {
+	return inst.L() == p.l && inst.Index.PoolSize() == p.pp && inst.MRR.Theta() == p.theta
+}
+
+func (p *EvaluatorPool) acquire(inst *Instance) (*evaluator, error) {
+	if !p.Compatible(inst) {
+		return nil, fmt.Errorf("core: instance shape (l=%d, pool=%d, theta=%d) does not match pool (l=%d, pool=%d, theta=%d)",
+			inst.L(), inst.Index.PoolSize(), inst.MRR.Theta(), p.l, p.pp, p.theta)
+	}
+	ev := p.pool.Get().(*evaluator)
+	ev.bind(inst)
+	return ev, nil
+}
+
+func (p *EvaluatorPool) release(ev *evaluator) {
+	ev.resetScratch()
+	p.pool.Put(ev)
+}
+
+// SolveBAB is SolveBAB with pooled scratch.
+func (p *EvaluatorPool) SolveBAB(inst *Instance, opts BABOptions) (*Result, error) {
+	ev, err := p.acquire(inst)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(ev)
+	return solveBABWith(inst, ev, opts)
+}
+
+// SolveBABP is SolveBABP with pooled scratch.
+func (p *EvaluatorPool) SolveBABP(inst *Instance, opts BABOptions) (*Result, error) {
+	if err := validateBABP(opts); err != nil {
+		return nil, err
+	}
+	ev, err := p.acquire(inst)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(ev)
+	return solveBABPWith(inst, ev, opts)
+}
+
+// SolveGreedy is SolveGreedy with pooled scratch.
+func (p *EvaluatorPool) SolveGreedy(inst *Instance, opts BABOptions) (*Result, error) {
+	if err := validateGreedy(opts); err != nil {
+		return nil, err
+	}
+	ev, err := p.acquire(inst)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(ev)
+	return solveGreedy(inst, ev, opts)
+}

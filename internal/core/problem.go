@@ -205,6 +205,41 @@ func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
 		}
 		layouts[j] = lay
 	}
+	inst, err := PrepareLayouts(p, layouts, theta, seed)
+	if err != nil {
+		return nil, err
+	}
+	inst.PieceProbs = pieceProbs
+	return inst, nil
+}
+
+// PrepareLayouts prepares an instance over prebuilt per-piece layouts —
+// typically served by a graph.LayoutCache, so repeated preparations of
+// the same campaign skip the O(n + m) per-piece materialization. It is
+// the reentrant prepare path: it touches no shared mutable state
+// (layouts are immutable), so any number of PrepareLayouts calls may run
+// concurrently over one graph.
+//
+// layouts[j] must be piece j's layout on p.G. Instances prepared this
+// way leave PieceProbs nil (the layout already carries the probabilities
+// in both CSR orders); code that needs edge-id-ordered probabilities
+// should use Prepare.
+func PrepareLayouts(p *Problem, layouts []*graph.PieceLayout, theta int, seed uint64) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	l := p.Campaign.L()
+	if l > maxPieces {
+		return nil, fmt.Errorf("core: %d pieces exceed the %d-piece limit", l, maxPieces)
+	}
+	if len(layouts) != l {
+		return nil, fmt.Errorf("core: %d layouts for %d pieces", len(layouts), l)
+	}
+	for j, lay := range layouts {
+		if lay == nil || lay.Graph() != p.G {
+			return nil, fmt.Errorf("core: piece %d layout not built for the problem graph", j)
+		}
+	}
 	start := time.Now()
 	mrr, err := rrset.SampleMRRLayouts(p.G, layouts, theta, seed)
 	if err != nil {
@@ -221,7 +256,6 @@ func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
 	}
 	return &Instance{
 		Problem:    p,
-		PieceProbs: pieceProbs,
 		Layouts:    layouts,
 		MRR:        mrr,
 		Index:      ix,

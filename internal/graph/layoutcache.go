@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"oipa/internal/topic"
+)
+
+// LayoutCache caches PieceLayouts keyed by topic-vector hash, so repeated
+// Prepare calls over the same pieces — parameter sweeps re-running a
+// campaign, or a long-running query service answering many requests over
+// one graph — stop paying the O(n + m) PieceProbs + Layout rebuild.
+//
+// The cache is safe for concurrent use. Concurrent Get calls for the same
+// vector are de-duplicated: one goroutine builds, the rest wait for the
+// finished layout (layouts are immutable and shared freely afterwards).
+// Eviction is LRU over completed entries once the entry count exceeds the
+// capacity; in-flight builds are never evicted.
+type LayoutCache struct {
+	g        *Graph
+	capacity int
+
+	mu      sync.Mutex
+	entries map[uint64][]*layoutEntry // hash -> collision chain
+	size    int
+	clock   int64 // LRU clock, advanced on every hit/insert
+
+	hits, misses int64
+}
+
+type layoutEntry struct {
+	t       topic.Vector
+	lay     *PieceLayout
+	err     error
+	ready   chan struct{} // closed when lay/err are set
+	lastUse int64
+}
+
+// NewLayoutCache returns a cache over g holding at most capacity layouts
+// (capacity <= 0 means unbounded). A full-graph layout costs O(n + m)
+// memory — two float64s and two NodeDists per edge/node — so services
+// size the capacity to the number of distinct pieces they expect to be
+// hot.
+func NewLayoutCache(g *Graph, capacity int) *LayoutCache {
+	return &LayoutCache{g: g, capacity: capacity, entries: make(map[uint64][]*layoutEntry)}
+}
+
+// Graph returns the graph the cache builds layouts for.
+func (c *LayoutCache) Graph() *Graph { return c.g }
+
+// Get returns the PieceLayout of a piece with topic distribution t,
+// building (and caching) it on first use. The returned layout is shared:
+// it is immutable and safe for concurrent use by any number of samplers
+// and simulators.
+func (c *LayoutCache) Get(t topic.Vector) (*PieceLayout, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: layout cache: %w", err)
+	}
+	if nnz := t.NNZ(); nnz > 0 && int(t.Idx[nnz-1]) >= c.g.Z() {
+		return nil, fmt.Errorf("graph: layout cache: topic index %d outside [0,%d)", t.Idx[nnz-1], c.g.Z())
+	}
+	h := t.Hash()
+
+	c.mu.Lock()
+	for _, e := range c.entries[h] {
+		if e.t.Equal(t) {
+			c.hits++
+			c.clock++
+			e.lastUse = c.clock
+			c.mu.Unlock()
+			<-e.ready
+			return e.lay, e.err
+		}
+	}
+	// Miss: insert an in-flight entry so concurrent requests for the same
+	// vector wait for this build instead of duplicating it.
+	c.misses++
+	c.clock++
+	e := &layoutEntry{t: t.Clone(), ready: make(chan struct{}), lastUse: c.clock}
+	c.entries[h] = append(c.entries[h], e)
+	c.size++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.lay, e.err = c.g.Layout(c.g.PieceProbs(t))
+	close(e.ready)
+	if e.err != nil {
+		// Failed builds are not worth caching; drop the entry so a later
+		// Get retries.
+		c.mu.Lock()
+		c.removeLocked(h, e)
+		c.mu.Unlock()
+	}
+	return e.lay, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the size
+// is back within capacity. In-flight entries (ready not yet closed) are
+// skipped: a waiter holds a reference to them.
+func (c *LayoutCache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.size > c.capacity {
+		var (
+			oldHash  uint64
+			oldEntry *layoutEntry
+		)
+		for h, chain := range c.entries {
+			for _, e := range chain {
+				select {
+				case <-e.ready:
+				default:
+					continue // in-flight
+				}
+				if oldEntry == nil || e.lastUse < oldEntry.lastUse {
+					oldHash, oldEntry = h, e
+				}
+			}
+		}
+		if oldEntry == nil {
+			return // everything is in-flight; nothing evictable yet
+		}
+		c.removeLocked(oldHash, oldEntry)
+	}
+}
+
+func (c *LayoutCache) removeLocked(h uint64, e *layoutEntry) {
+	chain := c.entries[h]
+	for i, x := range chain {
+		if x == e {
+			c.entries[h] = append(chain[:i:i], chain[i+1:]...)
+			c.size--
+			break
+		}
+	}
+	if len(c.entries[h]) == 0 {
+		delete(c.entries, h)
+	}
+}
+
+// Len returns the number of cached (or in-flight) layouts.
+func (c *LayoutCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LayoutCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

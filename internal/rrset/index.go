@@ -153,10 +153,34 @@ func (ix *Index) Degree(j int, p int32) int {
 	return int(ix.off[slot+1] - ix.off[slot])
 }
 
+// AUScratch is reusable per-caller scratch for EstimateAUWith: two
+// θ-sized arrays plus the touched-sample list that lets them be cleaned
+// in time proportional to the evaluation rather than θ. One scratch
+// serves many sequential estimates; it is not safe for concurrent use.
+type AUScratch struct {
+	counts    []uint8
+	pieceSeen []int32
+	touched   []int32
+}
+
+// NewAUScratch returns scratch sized for this index's sample count.
+func (ix *Index) NewAUScratch() *AUScratch {
+	theta := ix.mrr.Theta()
+	return &AUScratch{counts: make([]uint8, theta), pieceSeen: make([]int32, theta)}
+}
+
 // EstimateAU estimates σ(S̄) through the index: every seed must be a pool
 // member. Cost is proportional to the seeds' total inverted-list length
 // rather than the full collection size.
 func (ix *Index) EstimateAU(plan [][]int32, model logistic.Model) (float64, error) {
+	return ix.EstimateAUWith(plan, model, ix.NewAUScratch())
+}
+
+// EstimateAUWith is EstimateAU over caller-supplied scratch, for hot
+// paths that estimate repeatedly (the branch-and-bound incumbent check
+// runs twice per expanded node): no per-call θ-sized allocations, and
+// the scratch is returned clean for the next call.
+func (ix *Index) EstimateAUWith(plan [][]int32, model logistic.Model, s *AUScratch) (float64, error) {
 	m := ix.mrr
 	if len(plan) != m.l {
 		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
@@ -164,20 +188,30 @@ func (ix *Index) EstimateAU(plan [][]int32, model logistic.Model) (float64, erro
 	if err := model.Validate(); err != nil {
 		return 0, err
 	}
+	if len(s.counts) != m.Theta() {
+		return 0, fmt.Errorf("rrset: scratch sized for %d samples, index has %d", len(s.counts), m.Theta())
+	}
 	adoptAt := make([]float64, m.l+1)
 	for c := 1; c <= m.l; c++ {
 		adoptAt[c] = model.Adoption(c)
 	}
-	// covered[i] tracks per-sample piece coverage; the piece bit guard
-	// lives in pieceSeen to avoid double counting a piece covered by two
-	// of its seeds.
-	counts := make([]uint8, m.Theta())
-	pieceSeen := make([]int32, m.Theta()) // sample -> last piece marked (+1), reset per piece via epoch trick
+	// counts[i] tracks per-sample piece coverage; the piece guard lives
+	// in pieceSeen (sample -> last piece marked, +1) to avoid double
+	// counting a piece covered by two of its seeds. Every pieceSeen
+	// write is paired with a counts increment, so the touched list —
+	// samples whose counts went 0→1 — covers every dirtied entry.
+	counts, pieceSeen := s.counts, s.pieceSeen
+	s.touched = s.touched[:0]
 	total := 0.0
 	for j, seeds := range plan {
 		for _, v := range seeds {
 			p, ok := ix.PoolPos(v)
 			if !ok {
+				// Clean up the partial walk before failing.
+				for _, i := range s.touched {
+					counts[i] = 0
+					pieceSeen[i] = 0
+				}
 				return 0, fmt.Errorf("rrset: seed %d not in promoter pool", v)
 			}
 			for _, i := range ix.Samples(j, p) {
@@ -185,10 +219,17 @@ func (ix *Index) EstimateAU(plan [][]int32, model logistic.Model) (float64, erro
 					continue // piece j already covered at sample i
 				}
 				pieceSeen[i] = int32(j) + 1
+				if counts[i] == 0 {
+					s.touched = append(s.touched, i)
+				}
 				counts[i]++
 				total += adoptAt[counts[i]] - adoptAt[counts[i]-1]
 			}
 		}
+	}
+	for _, i := range s.touched {
+		counts[i] = 0
+		pieceSeen[i] = 0
 	}
 	return float64(m.g.N()) * total / float64(m.Theta()), nil
 }

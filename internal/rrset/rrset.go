@@ -2,127 +2,36 @@ package rrset
 
 import (
 	"fmt"
-	"math"
 
 	"oipa/internal/bitset"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
+	"oipa/internal/traverse"
 	"oipa/internal/xrand"
 )
 
-// sampler holds the per-goroutine reverse-BFS scratch state.
+// sampler holds the per-goroutine reverse-BFS scratch state: the shared
+// randomized-BFS core of internal/traverse pointed at the reverse CSR.
 type sampler struct {
-	inOff   []int64
-	inFrom  []int32
-	visited *bitset.Stamp
-	queue   []int32
+	inOff  []int64
+	inFrom []int32
+	w      *traverse.Walker
 }
 
 func newSampler(g *graph.Graph) *sampler {
 	inOff, inFrom := g.InCSR()
-	return &sampler{inOff: inOff, inFrom: inFrom, visited: bitset.NewStamp(g.N()), queue: make([]int32, 0, 256)}
+	return &sampler{inOff: inOff, inFrom: inFrom, w: traverse.NewWalker(g.N())}
 }
 
 // sample grows the RR set of root under the given piece layout and
-// appends its nodes (including the root) to out.
-//
-// Per-node dispatch: uniform-probability nodes draw the index of their
-// next live in-edge with a geometric jump (ties the number of RNG draws
-// to the number of live edges, not the in-degree); mixed nodes flip one
-// coin per in-edge, reading probabilities sequentially from the layout.
+// appends its nodes (including the root) to out. The traversal — per-node
+// uniform/mixed dispatch, geometric-skip jumps, RNG draw order — is
+// traverse.Walker.Run over the reverse CSR with the layout's in-edge
+// arrays; the cascade simulator runs the identical core forward.
 func (s *sampler) sample(root int32, lay *graph.PieceLayout, rng *xrand.SplitMix64, out []int32) []int32 {
-	s.visited.Reset()
-	s.queue = s.queue[:0]
-	s.visited.Mark(int(root))
-	s.queue = append(s.queue, root)
-	out = append(out, root)
-	for head := 0; head < len(s.queue); head++ {
-		v := s.queue[head]
-		lo, hi := s.inOff[v], s.inOff[v+1]
-		if lo == hi {
-			continue
-		}
-		dist := &lay.InDist[v]
-		switch p := dist.Uniform; {
-		case p == 0:
-			// Every in-edge is dead.
-		case p > 0 && p < 1:
-			if hi-lo <= geoSkipMinDeg {
-				// Short scan: one flip per edge beats a log call, and the
-				// uniform probability needs no per-edge loads.
-				for pos := lo; pos < hi; pos++ {
-					if rng.Float64() >= p {
-						continue
-					}
-					if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
-						s.queue = append(s.queue, u)
-						out = append(out, u)
-					}
-				}
-				continue
-			}
-			// Geometric skip: ⌊ln(U)/ln(1-p)⌋ is the number of dead edges
-			// before the next live one. The first draw doubles as the
-			// all-dead test — U ≤ (1-p)^indeg is that exact event — so the
-			// common empty scan costs one draw and no log.
-			u0 := rng.Float64()
-			if u0 <= dist.QD {
-				continue
-			}
-			invLogQ := dist.InvLogQ
-			pos := lo + int64(math.Log(u0)*invLogQ)
-			if pos >= hi {
-				// u0 > QD guarantees pos < hi in exact arithmetic, but QD
-				// (math.Pow) and the log product round independently; clamp
-				// rather than read the next node's CSR range.
-				continue
-			}
-			for {
-				if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
-					s.queue = append(s.queue, u)
-					out = append(out, u)
-				}
-				pos++
-				if pos >= hi {
-					break
-				}
-				jump := math.Log(rng.Float64()) * invLogQ
-				if jump >= float64(hi-pos) {
-					break
-				}
-				pos += int64(jump)
-			}
-		case p >= 1:
-			for pos := lo; pos < hi; pos++ {
-				if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
-					s.queue = append(s.queue, u)
-					out = append(out, u)
-				}
-			}
-		default: // mixed probabilities: one flip per live-candidate edge
-			probs := lay.InProbs
-			for pos := lo; pos < hi; pos++ {
-				q := probs[pos]
-				if q <= 0 {
-					continue
-				}
-				if q < 1 && rng.Float64() >= q {
-					continue
-				}
-				if u := s.inFrom[pos]; s.visited.MarkOnce(int(u)) {
-					s.queue = append(s.queue, u)
-					out = append(out, u)
-				}
-			}
-		}
-	}
-	return out
+	order := s.w.RunFrom(s.inOff, s.inFrom, lay.InDist, lay.InProbs, root, rng)
+	return append(out, order...)
 }
-
-// geoSkipMinDeg is the uniform-node degree above which geometric-skip
-// jumps beat per-edge flips: a jump costs a math.Log (~5 flips' worth of
-// RNG), so short scans stay on the flip path.
-const geoSkipMinDeg = 8
 
 // collCore is the read side shared by Collection and View: the sharded
 // store, the per-sample roots, and the estimator scratch. Methods are
@@ -306,19 +215,26 @@ func (m *mrrCore) Shards() int { return m.st.numShards() }
 // call; the solvers use the inverted Index instead. Plans may seed any
 // graph node, not just pool members; ids outside the graph never match.
 func (m *mrrCore) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
+	for len(m.planMark) < m.l {
+		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
+	}
+	return m.estimateAUScanWith(m.planMark, plan, model)
+}
+
+// estimateAUScanWith is EstimateAUScan over caller-supplied mark scratch
+// (one stamp per piece, sized to the graph); AUEstimator uses it to scan
+// a shared view concurrently.
+func (m *mrrCore) estimateAUScanWith(marks []*bitset.Stamp, plan [][]int32, model logistic.Model) (float64, error) {
 	if len(plan) != m.l {
 		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
 	}
 	if err := model.Validate(); err != nil {
 		return 0, err
 	}
-	for len(m.planMark) < m.l {
-		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
-	}
 	// active[j]: piece j has at least one in-graph seed marked.
 	active := make([]bool, m.l)
 	for j, seeds := range plan {
-		st := m.planMark[j]
+		st := marks[j]
 		st.Reset()
 		for _, v := range seeds {
 			if v >= 0 && int(v) < m.g.N() {
@@ -334,7 +250,7 @@ func (m *mrrCore) EstimateAUScan(plan [][]int32, model logistic.Model) (float64,
 			if !active[j] {
 				continue
 			}
-			st := m.planMark[j]
+			st := marks[j]
 			for _, v := range m.Set(i, j) {
 				if st.Marked(int(v)) {
 					count++
@@ -366,9 +282,36 @@ type MRRCollection struct {
 // the same validity guarantee as View: it stays bit-identical even while
 // the parent collection keeps growing. One MRRView value is not safe for
 // concurrent use (estimators share scratch); take one view per
-// goroutine.
+// goroutine, or share a single view across goroutines through
+// per-goroutine AUEstimators (NewEstimator).
 type MRRView struct {
 	mrrCore
+}
+
+// AUEstimator evaluates adoption utility over a shared MRRView with
+// private mark scratch. The view's sample storage is immutable, so any
+// number of estimators may scan one view concurrently — the sharing
+// pattern of a query service: one view per prepared artifact, one
+// estimator per in-flight request.
+type AUEstimator struct {
+	v     *MRRView
+	marks []*bitset.Stamp
+}
+
+// NewEstimator returns an estimator with its own scratch over the view.
+func (v *MRRView) NewEstimator() *AUEstimator {
+	marks := make([]*bitset.Stamp, v.l)
+	for j := range marks {
+		marks[j] = bitset.NewStamp(v.g.N())
+	}
+	return &AUEstimator{v: v, marks: marks}
+}
+
+// EstimateAU is MRRView.EstimateAUScan through the estimator's private
+// scratch: same semantics, bit-identical result, concurrency-safe across
+// estimators of the same view.
+func (e *AUEstimator) EstimateAU(plan [][]int32, model logistic.Model) (float64, error) {
+	return e.v.estimateAUScanWith(e.marks, plan, model)
 }
 
 // View returns an immutable snapshot of the collection's current

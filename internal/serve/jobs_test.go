@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestAsyncJobLifecycle submits a solve with {"async": true}, polls until
+// completion and checks the result matches the synchronous path.
+func TestAsyncJobLifecycle(t *testing.T) {
+	s := testServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SolveRequest{Campaign: testCampaign(0, 1), K: 3, Theta: 400}
+	var sync SolveResponse
+	if code, raw := postJSON(t, ts, "/v1/solve", req, &sync); code != http.StatusOK {
+		t.Fatalf("sync solve status %d: %s", code, raw)
+	}
+
+	req.Async = true
+	var accepted struct {
+		Job  string `json:"job"`
+		Poll string `json:"poll"`
+	}
+	code, raw := postJSON(t, ts, "/v1/solve", req, &accepted)
+	if code != http.StatusAccepted {
+		t.Fatalf("async solve status %d, want 202: %s", code, raw)
+	}
+	if accepted.Job == "" || accepted.Poll != "/v1/jobs/"+accepted.Job {
+		t.Fatalf("unexpected acceptance body: %+v", accepted)
+	}
+
+	var st JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, ts, accepted.Poll, &st); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if st.State == JobDone || st.State == JobFailed || st.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job finished in state %q (error %q)", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Utility != sync.Utility {
+		t.Fatalf("async result %+v does not match sync utility %v", st.Result, sync.Utility)
+	}
+	if !st.Result.CacheHit {
+		t.Fatal("async solve of the same request missed the instance cache")
+	}
+	var list []JobStatus
+	if code := getJSON(t, ts, "/v1/jobs", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("job list status %d, %d entries", code, len(list))
+	}
+	if code := getJSON(t, ts, "/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", code)
+	}
+}
+
+// blockQueue builds a jobQueue whose run function blocks until released
+// or canceled — deterministic scaffolding for cancellation and admission
+// tests.
+func blockQueue(t *testing.T, workers, depth int) (*jobQueue, chan struct{}) {
+	t.Helper()
+	var m metrics
+	release := make(chan struct{})
+	q := newJobQueue(workers, depth, 64, &m)
+	q.run = func(j *job) {
+		select {
+		case <-release:
+			q.complete(j, &SolveResponse{Method: "TEST"}, nil)
+		case <-j.cancel:
+			q.complete(j, nil, nil)
+		}
+	}
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+		q.close()
+	})
+	return q, release
+}
+
+func waitState(t *testing.T, q *jobQueue, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := q.status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestJobCancellation(t *testing.T) {
+	q, release := blockQueue(t, 1, 4)
+
+	first, err := q.submit(SolveRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, first, JobRunning)
+
+	// A job queued behind the running one cancels without ever starting.
+	second, err := q.submit(SolveRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := q.cancelJob(second); err != nil || !ok {
+		t.Fatalf("cancel queued job: ok=%v err=%v", ok, err)
+	}
+	if st, _ := q.status(second); st.State != JobCanceled {
+		t.Fatalf("queued job state %q after cancel, want canceled", st.State)
+	}
+
+	// Canceling the running job closes its Stop channel; the runner
+	// returns and the job lands in canceled.
+	if ok, err := q.cancelJob(first); err != nil || !ok {
+		t.Fatalf("cancel running job: ok=%v err=%v", ok, err)
+	}
+	waitState(t, q, first, JobCanceled)
+
+	// Double cancel and cancel-after-finish are no-ops, not errors.
+	if ok, err := q.cancelJob(first); err != nil || ok {
+		t.Fatalf("second cancel: ok=%v err=%v", ok, err)
+	}
+
+	third, err := q.submit(SolveRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, third, JobRunning)
+	close(release)
+	st := waitState(t, q, third, JobDone)
+	if st.Result == nil || st.Result.Method != "TEST" {
+		t.Fatalf("unexpected result %+v", st.Result)
+	}
+	if ok, err := q.cancelJob(third); err != nil || ok {
+		t.Fatalf("cancel after done: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestJobQueueAdmissionControl(t *testing.T) {
+	q, _ := blockQueue(t, 1, 2)
+	first, err := q.submit(SolveRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, first, JobRunning)
+	// Worker busy: the backlog holds exactly `depth` jobs.
+	for i := 0; i < 2; i++ {
+		if _, err := q.submit(SolveRequest{}); err != nil {
+			t.Fatalf("submit %d within depth: %v", i, err)
+		}
+	}
+	if _, err := q.submit(SolveRequest{}); err != ErrQueueFull {
+		t.Fatalf("submit beyond depth: err=%v, want ErrQueueFull", err)
+	}
+	if got := q.m.jobsRejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+}
+
+// TestJobHistoryBounded checks that finished jobs age out of the
+// retained history (a long-running server must not accumulate result
+// plans without bound) and that submissions after close are refused.
+func TestJobHistoryBounded(t *testing.T) {
+	var m metrics
+	q := newJobQueue(1, 8, 3, &m)
+	release := make(chan struct{})
+	close(release) // runner completes immediately
+	q.run = func(j *job) { q.complete(j, &SolveResponse{Method: "TEST"}, nil) }
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := q.submit(SolveRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		waitState(t, q, id, JobDone)
+	}
+	if got := len(q.list()); got != 3 {
+		t.Fatalf("history holds %d jobs, want 3", got)
+	}
+	for _, id := range ids[:2] {
+		if _, err := q.status(id); err == nil {
+			t.Fatalf("evicted job %s still polls", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if st, err := q.status(id); err != nil || st.State != JobDone {
+			t.Fatalf("recent job %s unavailable: %v", id, err)
+		}
+	}
+
+	q.close()
+	if _, err := q.submit(SolveRequest{}); err != ErrClosed {
+		t.Fatalf("submit after close: err=%v, want ErrClosed", err)
+	}
+}
+
+// TestQueueFullSurfacesAs503 checks the HTTP mapping of admission
+// control.
+func TestQueueFullSurfacesAs503(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+	})
+	// Swap in a blocking runner so the worker and the single backlog slot
+	// stay occupied deterministically.
+	release := make(chan struct{})
+	defer close(release)
+	s.jobs.run = func(j *job) {
+		select {
+		case <-release:
+		case <-j.cancel:
+		}
+		s.jobs.complete(j, nil, nil)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SolveRequest{Campaign: testCampaign(0), K: 2, Async: true}
+	var accepted struct {
+		Job string `json:"job"`
+	}
+	if code, raw := postJSON(t, ts, "/v1/solve", req, &accepted); code != http.StatusAccepted {
+		t.Fatalf("first async status %d: %s", code, raw)
+	}
+	waitState(t, s.jobs, accepted.Job, JobRunning)
+	if code, _ := postJSON(t, ts, "/v1/solve", req, nil); code != http.StatusAccepted {
+		t.Fatalf("second async (fills backlog) status %d", code)
+	}
+	if code, raw := postJSON(t, ts, "/v1/solve", req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("backlog overflow status %d, want 503: %s", code, raw)
+	}
+}

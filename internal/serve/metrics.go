@@ -1,0 +1,90 @@
+package serve
+
+import "sync/atomic"
+
+// metrics is the service's counter block. Counters are plain atomics —
+// cheap enough for every request path to touch — and are exported in one
+// consistent snapshot via Server.Metrics (served at /metrics and
+// publishable through expvar).
+type metrics struct {
+	solveRequests    atomic.Int64
+	estimateRequests atomic.Int64
+	simulateRequests atomic.Int64
+	jobRequests      atomic.Int64
+	requestErrors    atomic.Int64
+
+	inflightSolves atomic.Int64 // gauge: solves currently executing
+	solvesTotal    atomic.Int64
+	solveErrors    atomic.Int64
+
+	prepares          atomic.Int64 // core.PrepareLayouts invocations
+	instanceHits      atomic.Int64
+	instanceMisses    atomic.Int64
+	singleflightWaits atomic.Int64 // requests that waited on another's Prepare
+	instanceEvictions atomic.Int64
+
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsRejected  atomic.Int64 // queue full
+}
+
+// MetricsSnapshot is one consistent-enough read of every service counter,
+// shaped for JSON (/metrics) and expvar publication.
+type MetricsSnapshot struct {
+	Requests struct {
+		Solve    int64 `json:"solve"`
+		Estimate int64 `json:"estimate"`
+		Simulate int64 `json:"simulate"`
+		Jobs     int64 `json:"jobs"`
+		Errors   int64 `json:"errors"`
+	} `json:"requests"`
+	Solves struct {
+		Inflight int64 `json:"inflight"`
+		Total    int64 `json:"total"`
+		Errors   int64 `json:"errors"`
+	} `json:"solves"`
+	Registry struct {
+		Prepares          int64 `json:"prepares"`
+		InstanceHits      int64 `json:"instance_hits"`
+		InstanceMisses    int64 `json:"instance_misses"`
+		SingleflightWaits int64 `json:"singleflight_waits"`
+		InstanceEvictions int64 `json:"instance_evictions"`
+		Instances         int   `json:"instances"`
+		LayoutHits        int64 `json:"layout_hits"`
+		LayoutMisses      int64 `json:"layout_misses"`
+		Layouts           int   `json:"layouts"`
+	} `json:"registry"`
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		Rejected  int64 `json:"rejected"`
+		Queued    int   `json:"queued"`
+	} `json:"jobs"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Requests.Solve = m.solveRequests.Load()
+	s.Requests.Estimate = m.estimateRequests.Load()
+	s.Requests.Simulate = m.simulateRequests.Load()
+	s.Requests.Jobs = m.jobRequests.Load()
+	s.Requests.Errors = m.requestErrors.Load()
+	s.Solves.Inflight = m.inflightSolves.Load()
+	s.Solves.Total = m.solvesTotal.Load()
+	s.Solves.Errors = m.solveErrors.Load()
+	s.Registry.Prepares = m.prepares.Load()
+	s.Registry.InstanceHits = m.instanceHits.Load()
+	s.Registry.InstanceMisses = m.instanceMisses.Load()
+	s.Registry.SingleflightWaits = m.singleflightWaits.Load()
+	s.Registry.InstanceEvictions = m.instanceEvictions.Load()
+	s.Jobs.Submitted = m.jobsSubmitted.Load()
+	s.Jobs.Done = m.jobsDone.Load()
+	s.Jobs.Failed = m.jobsFailed.Load()
+	s.Jobs.Canceled = m.jobsCanceled.Load()
+	s.Jobs.Rejected = m.jobsRejected.Load()
+	return s
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"oipa/internal/core"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/rrset"
+	"oipa/internal/topic"
+)
+
+// instanceKey identifies one prepared sampling artifact: the campaign's
+// canonical piece content (names excluded — two campaigns with the same
+// distributions share samples), the sample count and the sampling seed.
+// Budget k and the adoption model are deliberately NOT part of the key:
+// neither affects the MRR samples or the pool index, so per-request
+// variation is served through core.Instance.WithK / WithModel shallow
+// copies over one cached artifact.
+type instanceKey struct {
+	campaign string
+	theta    int
+	seed     uint64
+}
+
+// campaignKey renders the piece distributions in a canonical, collision
+// free form: topic indices with exact IEEE-754 value bits, pieces in
+// campaign order.
+func campaignKey(c topic.Campaign) string {
+	var sb strings.Builder
+	for _, p := range c.Pieces {
+		for i, idx := range p.Dist.Idx {
+			fmt.Fprintf(&sb, "%d:%016x;", idx, math.Float64bits(p.Dist.Val[i]))
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// prepared bundles one cached core.Instance with the per-instance reuse
+// machinery: an EvaluatorPool so concurrent solves recycle solver
+// scratch, and a pool of AUEstimators sharing the instance's MRR view
+// for concurrent estimate queries.
+type prepared struct {
+	inst  *core.Instance
+	evals *core.EvaluatorPool
+	ests  sync.Pool // of *rrset.AUEstimator over inst.Index.MRR()
+
+	err     error
+	ready   chan struct{} // closed once inst/err are set
+	lastUse int64
+}
+
+// estimator checks an AUEstimator out of the entry's pool.
+func (p *prepared) estimator() *rrset.AUEstimator {
+	if e, ok := p.ests.Get().(*rrset.AUEstimator); ok {
+		return e
+	}
+	return p.inst.Index.MRR().NewEstimator()
+}
+
+func (p *prepared) putEstimator(e *rrset.AUEstimator) { p.ests.Put(e) }
+
+// Registry is the prepared-artifact cache at the heart of the service:
+// per-piece layouts keyed by topic-vector hash (graph.LayoutCache) and
+// prepared core.Instances keyed by (campaign, theta, seed) with LRU
+// eviction. Concurrent requests for the same missing instance are
+// de-duplicated: exactly one goroutine runs core.PrepareLayouts, the
+// rest wait on the entry (observable as singleflight_waits vs prepares
+// in the metrics).
+type Registry struct {
+	g        *graph.Graph
+	pool     []int32
+	model    logistic.Model
+	layouts  *graph.LayoutCache
+	capacity int
+
+	mu      sync.Mutex
+	entries map[instanceKey]*prepared
+	clock   int64
+
+	m *metrics
+}
+
+func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, instanceCap int, m *metrics) *Registry {
+	return &Registry{
+		g:        g,
+		pool:     pool,
+		model:    model,
+		layouts:  graph.NewLayoutCache(g, layoutCap),
+		capacity: instanceCap,
+		entries:  make(map[instanceKey]*prepared),
+		m:        m,
+	}
+}
+
+// Layouts exposes the layout cache (the /v1/simulate path samples
+// straight off cached layouts without preparing an instance).
+func (r *Registry) Layouts() *graph.LayoutCache { return r.layouts }
+
+// Instance returns the prepared artifact for (campaign, theta, seed),
+// preparing it at most once per cache residency, plus a flag reporting
+// whether the artifact was already present (a cache hit, including
+// joining an in-flight preparation). The returned entry is shared:
+// callers must treat inst as immutable and go through the entry's
+// evaluator/estimator pools for any scratch-carrying operation.
+func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (*prepared, bool, error) {
+	if err := campaign.Validate(r.g.Z()); err != nil {
+		return nil, false, fmt.Errorf("serve: campaign: %w", err)
+	}
+	if theta <= 0 {
+		return nil, false, fmt.Errorf("serve: non-positive theta %d", theta)
+	}
+	key := instanceKey{campaign: campaignKey(campaign), theta: theta, seed: seed}
+
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.clock++
+		e.lastUse = r.clock
+		select {
+		case <-e.ready:
+			r.m.instanceHits.Add(1)
+		default:
+			r.m.singleflightWaits.Add(1)
+		}
+		r.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+		return e, true, e.err
+	}
+	r.m.instanceMisses.Add(1)
+	r.clock++
+	e := &prepared{ready: make(chan struct{}), lastUse: r.clock}
+	r.entries[key] = e
+	r.evictLocked()
+	r.mu.Unlock()
+
+	e.inst, e.err = r.prepare(campaign, theta, seed)
+	if e.err == nil {
+		e.evals = core.NewEvaluatorPool(e.inst)
+	}
+	close(e.ready)
+	if e.err != nil {
+		// Do not cache failures; let a corrected request retry.
+		r.mu.Lock()
+		if cur, ok := r.entries[key]; ok && cur == e {
+			delete(r.entries, key)
+		}
+		r.mu.Unlock()
+	}
+	return e, false, e.err
+}
+
+// prepare materializes the artifact: layouts through the shared layout
+// cache (so campaigns overlapping in pieces share them), then the
+// reentrant core.PrepareLayouts. The budget placeholder k=1 is never
+// used directly — request handlers derive WithK copies.
+func (r *Registry) prepare(campaign topic.Campaign, theta int, seed uint64) (*core.Instance, error) {
+	layouts := make([]*graph.PieceLayout, campaign.L())
+	for j, piece := range campaign.Pieces {
+		lay, err := r.layouts.Get(piece.Dist)
+		if err != nil {
+			return nil, fmt.Errorf("serve: piece %d: %w", j, err)
+		}
+		layouts[j] = lay
+	}
+	prob := &core.Problem{
+		G:        r.g,
+		Campaign: campaign,
+		Pool:     r.pool,
+		K:        1,
+		Model:    r.model,
+	}
+	r.m.prepares.Add(1)
+	return core.PrepareLayouts(prob, layouts, theta, seed)
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// count is back within capacity; in-flight preparations are never
+// evicted (waiters hold them).
+func (r *Registry) evictLocked() {
+	if r.capacity <= 0 {
+		return
+	}
+	for len(r.entries) > r.capacity {
+		var (
+			oldKey instanceKey
+			oldest *prepared
+		)
+		for k, e := range r.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue
+			}
+			if oldest == nil || e.lastUse < oldest.lastUse {
+				oldKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(r.entries, oldKey)
+		r.m.instanceEvictions.Add(1)
+	}
+}
+
+// Len returns the number of cached (or in-flight) instances.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestCampaignKeyCanonicalization(t *testing.T) {
+	a := testCampaign(0, 1)
+	b := testCampaign(0, 1)
+	b.Name = "other-name"
+	b.Pieces[0].Name = "renamed"
+	if campaignKey(a) != campaignKey(b) {
+		t.Fatal("campaign key depends on names, not just distributions")
+	}
+	if campaignKey(testCampaign(0, 1)) == campaignKey(testCampaign(1, 0)) {
+		t.Fatal("campaign key ignores piece order")
+	}
+	if campaignKey(testCampaign(0)) == campaignKey(testCampaign(1)) {
+		t.Fatal("campaign key ignores distributions")
+	}
+}
+
+func TestRegistrySingleflightDirect(t *testing.T) {
+	s := testServer(t, nil)
+	camp := testCampaign(0, 2)
+	const workers = 12
+	entries := make([]*prepared, workers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			e, _, err := s.reg.Instance(context.Background(), camp, 500, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[w] = e
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if entries[w] != entries[0] {
+			t.Fatal("concurrent Instance calls returned different entries")
+		}
+	}
+	if got := s.m.prepares.Load(); got != 1 {
+		t.Fatalf("prepares = %d, want 1", got)
+	}
+}
+
+func TestRegistryKeySeparatesThetaAndSeed(t *testing.T) {
+	s := testServer(t, nil)
+	camp := testCampaign(0)
+	ctx := context.Background()
+	if _, _, err := s.reg.Instance(ctx, camp, 300, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := s.reg.Instance(ctx, camp, 400, 1); err != nil || hit {
+		t.Fatalf("different theta reused the instance (hit=%v, err=%v)", hit, err)
+	}
+	if _, hit, err := s.reg.Instance(ctx, camp, 300, 2); err != nil || hit {
+		t.Fatalf("different seed reused the instance (hit=%v, err=%v)", hit, err)
+	}
+	if _, hit, err := s.reg.Instance(ctx, camp, 300, 1); err != nil || !hit {
+		t.Fatalf("identical key missed the cache (hit=%v, err=%v)", hit, err)
+	}
+	if got := s.m.prepares.Load(); got != 3 {
+		t.Fatalf("prepares = %d, want 3", got)
+	}
+}
+
+func TestRegistryEvictionLRU(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.InstanceCapacity = 2 })
+	ctx := context.Background()
+	get := func(z int32) {
+		t.Helper()
+		if _, _, err := s.reg.Instance(ctx, testCampaign(z), 300, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(0)
+	get(1)
+	get(0) // refresh 0: LRU is now campaign(1)
+	get(2) // evicts campaign(1)
+	if n := s.reg.Len(); n != 2 {
+		t.Fatalf("registry holds %d instances, want 2", n)
+	}
+	if got := s.m.instanceEvictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	prepBefore := s.m.prepares.Load()
+	get(0) // still resident
+	get(2) // still resident
+	if got := s.m.prepares.Load(); got != prepBefore {
+		t.Fatal("resident instances were re-prepared")
+	}
+	get(1) // evicted: must re-prepare
+	if got := s.m.prepares.Load(); got != prepBefore+1 {
+		t.Fatalf("re-request of evicted campaign ran %d prepares, want 1", got-prepBefore)
+	}
+}
+
+func TestRegistryRejectsBadRequests(t *testing.T) {
+	s := testServer(t, nil)
+	ctx := context.Background()
+	if _, _, err := s.reg.Instance(ctx, testCampaign(9), 300, 1); err == nil {
+		t.Fatal("accepted a campaign with an out-of-range topic")
+	}
+	if _, _, err := s.reg.Instance(ctx, testCampaign(0), 0, 1); err == nil {
+		t.Fatal("accepted theta = 0")
+	}
+	if n := s.reg.Len(); n != 0 {
+		t.Fatalf("rejected requests left %d registry entries", n)
+	}
+}

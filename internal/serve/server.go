@@ -1,0 +1,572 @@
+// Package serve implements oipa-serve: a long-running, concurrent
+// influence-query service over one shared social graph.
+//
+// A batch oipa-run invocation pays the full pipeline — load graph, build
+// per-piece layouts, sample θ MRR sets, index, solve — for every single
+// query. The service instead loads the graph once and holds the expensive
+// intermediate artifacts in a prepared-artifact registry:
+//
+//   - graph.PieceLayouts cached by topic-vector hash (campaigns that
+//     share pieces share layouts);
+//   - prepared core.Instances (MRR samples + pool index + bound table)
+//     cached by (campaign, theta, seed) with LRU eviction and
+//     singleflight de-duplication of concurrent identical preparations;
+//   - per-instance core.EvaluatorPools and rrset.AUEstimator pools so
+//     concurrent requests reuse solver scratch without data races — the
+//     MRR views, indexes and layouts they read are immutable and shared.
+//
+// Endpoints (JSON over HTTP):
+//
+//	POST /v1/solve     solve an OIPA instance (sync, or async via the
+//	                   bounded job queue with {"async": true})
+//	POST /v1/estimate  MRR-estimate σ(S̄) of a given plan
+//	POST /v1/simulate  forward Monte-Carlo σ(S̄) of a given plan
+//	GET  /v1/jobs      list async jobs; /v1/jobs/{id} polls one
+//	                   (DELETE cancels: queued jobs are dropped, running
+//	                   solves stop at the next node expansion and return
+//	                   their incumbent)
+//	GET  /healthz      liveness + graph shape
+//	GET  /metrics      request/cache/job counters (also publishable via
+//	                   expvar, see Server.PublishExpvar)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"oipa/internal/cascade"
+	"oipa/internal/core"
+	"oipa/internal/graph"
+	"oipa/internal/logistic"
+	"oipa/internal/topic"
+)
+
+// Config configures a Server. Graph and Pool are required; zero values
+// elsewhere select the documented defaults.
+type Config struct {
+	Graph *graph.Graph
+	Pool  []int32        // promoter pool V^p shared by every query
+	Model logistic.Model // default adoption model (zero: alpha=2, beta=1)
+
+	DefaultTheta int // MRR samples when a request omits theta (default 50k)
+	MaxTheta     int // reject requests above this (default 2M; memory guard)
+	MaxSimRuns   int // cap forward-simulation runs (default 1M)
+
+	LayoutCapacity   int // cached piece layouts (default 128)
+	InstanceCapacity int // cached prepared instances (default 8)
+
+	Workers    int // async solve workers (default GOMAXPROCS)
+	QueueDepth int // async backlog bound (default 64)
+	JobHistory int // finished jobs retained for polling (default 256)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Model == (logistic.Model{}) {
+		c.Model = logistic.Model{Alpha: 2, Beta: 1}
+	}
+	if c.DefaultTheta <= 0 {
+		c.DefaultTheta = 50_000
+	}
+	if c.MaxTheta <= 0 {
+		c.MaxTheta = 2_000_000
+	}
+	if c.MaxSimRuns <= 0 {
+		c.MaxSimRuns = 1_000_000
+	}
+	if c.LayoutCapacity <= 0 {
+		c.LayoutCapacity = 128
+	}
+	if c.InstanceCapacity <= 0 {
+		c.InstanceCapacity = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+}
+
+// Server is the oipa-serve HTTP service. Create with New, mount
+// Handler(), Close when done (stops the job workers and cancels
+// outstanding jobs).
+type Server struct {
+	cfg  Config
+	g    *graph.Graph
+	reg  *Registry
+	jobs *jobQueue
+	mux  *http.ServeMux
+	m    metrics
+}
+
+// New validates the configuration and assembles the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	if len(cfg.Pool) == 0 {
+		return nil, fmt.Errorf("serve: empty promoter pool")
+	}
+	cfg.fillDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: default model: %w", err)
+	}
+	s := &Server{cfg: cfg, g: cfg.Graph}
+	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, &s.m)
+	s.jobs = newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.JobHistory, &s.m)
+	s.jobs.run = s.runJob
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the prepared-artifact registry (examples and tests
+// inspect cache state through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close stops the async workers and cancels queued and running jobs.
+func (s *Server) Close() { s.jobs.close() }
+
+// Metrics snapshots every service counter plus the registry gauges.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.m.snapshot()
+	snap.Registry.Instances = s.reg.Len()
+	snap.Registry.LayoutHits, snap.Registry.LayoutMisses = s.reg.Layouts().Stats()
+	snap.Registry.Layouts = s.reg.Layouts().Len()
+	snap.Jobs.Queued = s.jobs.queued()
+	return snap
+}
+
+// PublishExpvar publishes the metrics snapshot under the given expvar
+// name (conventionally "oipa-serve"), making it visible at /debug/vars
+// alongside the runtime's memstats. Call at most once per name per
+// process: expvar panics on duplicate registration.
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() interface{} { return s.Metrics() }))
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// ---- request / response types ----
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	Campaign  topic.Campaign `json:"campaign"`
+	Method    string         `json:"method"` // greedy | bab | babp | im | tim (default babp)
+	K         int            `json:"k"`
+	Theta     int            `json:"theta"`     // default Config.DefaultTheta
+	Seed      uint64         `json:"seed"`      // sampling seed (default 1)
+	Epsilon   float64        `json:"epsilon"`   // BAB-P decay (default 0.5)
+	Tolerance float64        `json:"tolerance"` // termination gap (default 0.01)
+	MaxNodes  int            `json:"max_nodes"` // 0 = unbounded
+	Alpha     float64        `json:"alpha"`     // adoption model override (0 = server default)
+	Beta      float64        `json:"beta"`
+	Async     bool           `json:"async"` // enqueue instead of solving inline
+}
+
+// SolveResponse is the body of a completed solve (inline or via job).
+type SolveResponse struct {
+	Method   string           `json:"method"`
+	Utility  float64          `json:"utility"`
+	Upper    float64          `json:"upper,omitempty"`
+	Plan     [][]int32        `json:"plan"`
+	Pieces   []string         `json:"pieces"`
+	Theta    int              `json:"theta"`
+	K        int              `json:"k"`
+	SolveMS  float64          `json:"solve_ms"`
+	SampleMS float64          `json:"sample_ms"` // 0 when the instance was cached
+	Stats    core.SolverStats `json:"stats"`
+	CacheHit bool             `json:"cache_hit"` // prepared artifact came from cache
+}
+
+// EstimateRequest is the body of POST /v1/estimate: MRR-estimate the
+// adoption utility of an explicit plan. Seeds may be any graph node.
+type EstimateRequest struct {
+	Campaign topic.Campaign `json:"campaign"`
+	Plan     [][]int32      `json:"plan"`
+	Theta    int            `json:"theta"`
+	Seed     uint64         `json:"seed"`
+	Alpha    float64        `json:"alpha"`
+	Beta     float64        `json:"beta"`
+}
+
+// EstimateResponse is the body of a completed estimate.
+type EstimateResponse struct {
+	Utility  float64 `json:"utility"`
+	Theta    int     `json:"theta"`
+	CacheHit bool    `json:"cache_hit"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: forward Monte-Carlo
+// ground truth for an explicit plan (no MRR sampling involved — only the
+// layout cache is consulted).
+type SimulateRequest struct {
+	Campaign topic.Campaign `json:"campaign"`
+	Plan     [][]int32      `json:"plan"`
+	Runs     int            `json:"runs"` // default 10000
+	Seed     uint64         `json:"seed"`
+	Alpha    float64        `json:"alpha"`
+	Beta     float64        `json:"beta"`
+}
+
+// SimulateResponse is the body of a completed simulation.
+type SimulateResponse struct {
+	Utility float64 `json:"utility"`
+	Runs    int     `json:"runs"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"graph": map[string]int{
+			"n": s.g.N(), "m": s.g.M(), "z": s.g.Z(),
+		},
+		"pool": len(s.cfg.Pool),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.m.solveRequests.Add(1)
+	var req SolveRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if err := s.normalizeSolve(&req); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Async {
+		id, err := s.jobs.submit(req)
+		if err != nil {
+			s.error(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"job": id, "poll": "/v1/jobs/" + id})
+		return
+	}
+	resp, err := s.solve(r.Context(), req, r.Context().Done())
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.m.estimateRequests.Add(1)
+	var req EstimateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Theta == 0 {
+		req.Theta = s.cfg.DefaultTheta
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Theta > s.cfg.MaxTheta {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("serve: theta %d exceeds the server cap %d", req.Theta, s.cfg.MaxTheta))
+		return
+	}
+	model, err := s.model(req.Alpha, req.Beta)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, hit, err := s.reg.Instance(r.Context(), req.Campaign, req.Theta, req.Seed)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	est := entry.estimator()
+	util, err := est.EstimateAU(req.Plan, model)
+	entry.putEstimator(est)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Utility:  util,
+		Theta:    req.Theta,
+		CacheHit: hit,
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.m.simulateRequests.Add(1)
+	var req SimulateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Runs <= 0 {
+		req.Runs = 10_000
+	}
+	if req.Runs > s.cfg.MaxSimRuns {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("serve: runs %d exceeds the server cap %d", req.Runs, s.cfg.MaxSimRuns))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if err := req.Campaign.Validate(s.g.Z()); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := s.model(req.Alpha, req.Beta)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	layouts := make([]*graph.PieceLayout, req.Campaign.L())
+	for j, piece := range req.Campaign.Pieces {
+		lay, err := s.reg.Layouts().Get(piece.Dist)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, err)
+			return
+		}
+		layouts[j] = lay
+	}
+	util, err := cascade.EstimateAdoptionLayouts(s.g, layouts, req.Plan, model, req.Runs, req.Seed)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{Utility: util, Runs: req.Runs})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.m.jobRequests.Add(1)
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.m.jobRequests.Add(1)
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" {
+		s.error(w, http.StatusNotFound, fmt.Errorf("serve: missing job id"))
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		canceled, err := s.jobs.cancelJob(id)
+		if err != nil {
+			s.error(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"canceled": canceled})
+	default:
+		st, err := s.jobs.status(id)
+		if err != nil {
+			s.error(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// ---- solve execution (shared by the sync path and the job workers) ----
+
+func (s *Server) normalizeSolve(req *SolveRequest) error {
+	if req.Method == "" {
+		req.Method = "babp"
+	}
+	req.Method = strings.ToLower(req.Method)
+	switch req.Method {
+	case "greedy", "bab", "babp", "im", "tim":
+	default:
+		return fmt.Errorf("serve: unknown method %q", req.Method)
+	}
+	if req.K <= 0 {
+		return fmt.Errorf("serve: non-positive budget k=%d", req.K)
+	}
+	if req.Theta == 0 {
+		req.Theta = s.cfg.DefaultTheta
+	}
+	if req.Theta > s.cfg.MaxTheta {
+		return fmt.Errorf("serve: theta %d exceeds the server cap %d", req.Theta, s.cfg.MaxTheta)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Epsilon == 0 {
+		req.Epsilon = 0.5
+	}
+	if req.Tolerance == 0 {
+		req.Tolerance = 0.01
+	}
+	return req.Campaign.Validate(s.g.Z())
+}
+
+// model resolves a per-request adoption-model override.
+func (s *Server) model(alpha, beta float64) (logistic.Model, error) {
+	m := s.cfg.Model
+	if alpha != 0 {
+		m.Alpha = alpha
+	}
+	if beta != 0 {
+		m.Beta = beta
+	}
+	if err := m.Validate(); err != nil {
+		return m, fmt.Errorf("serve: model: %w", err)
+	}
+	return m, nil
+}
+
+// solve runs one normalized solve request against the registry. stop is
+// wired into the branch-and-bound search (request cancellation / job
+// cancellation); ctx bounds the registry wait.
+func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct{}) (*SolveResponse, error) {
+	entry, cacheHit, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	inst, err := entry.inst.WithK(req.K)
+	if err != nil {
+		return nil, err
+	}
+	model, err := s.model(req.Alpha, req.Beta)
+	if err != nil {
+		return nil, err
+	}
+	if model != s.cfg.Model {
+		if inst, err = inst.WithModel(model); err != nil {
+			return nil, err
+		}
+	}
+	opts := core.BABOptions{
+		Epsilon:        req.Epsilon,
+		Tolerance:      req.Tolerance,
+		MaxNodes:       req.MaxNodes,
+		RawGap:         true,
+		FillAfterFloor: true,
+		Stop:           stop,
+	}
+
+	s.m.inflightSolves.Add(1)
+	defer s.m.inflightSolves.Add(-1)
+	s.m.solvesTotal.Add(1)
+	var res *core.Result
+	switch req.Method {
+	case "bab":
+		res, err = entry.evals.SolveBAB(inst, opts)
+	case "babp":
+		res, err = entry.evals.SolveBABP(inst, opts)
+	case "greedy":
+		res, err = entry.evals.SolveGreedy(inst, opts)
+	case "im":
+		res, err = core.SolveIM(inst, req.Seed+1)
+	case "tim":
+		res, err = core.SolveTIM(inst)
+	}
+	if err != nil {
+		s.m.solveErrors.Add(1)
+		return nil, err
+	}
+
+	pieces := make([]string, req.Campaign.L())
+	for j, p := range req.Campaign.Pieces {
+		pieces[j] = p.Name
+	}
+	sampleMS := 0.0
+	if !cacheHit {
+		sampleMS = float64(entry.inst.SampleTime) / float64(time.Millisecond)
+	}
+	return &SolveResponse{
+		Method:   res.Method,
+		Utility:  res.Utility,
+		Upper:    res.Upper,
+		Plan:     res.Plan.Seeds,
+		Pieces:   pieces,
+		Theta:    req.Theta,
+		K:        req.K,
+		SolveMS:  float64(res.Elapsed) / float64(time.Millisecond),
+		SampleMS: sampleMS,
+		Stats:    res.Stats,
+		CacheHit: cacheHit,
+	}, nil
+}
+
+// runJob executes one queued solve on a worker goroutine. The job's
+// cancel channel doubles as the registry-wait context and the solver's
+// Stop hook.
+func (s *Server) runJob(j *job) {
+	resp, err := s.solve(stopCtx{stop: j.cancel}, j.req, j.cancel)
+	s.jobs.complete(j, resp, err)
+}
+
+// ---- plumbing ----
+
+// stopCtx adapts a stop channel into a context for registry waits.
+type stopCtx struct {
+	stop <-chan struct{}
+}
+
+func (c stopCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c stopCtx) Done() <-chan struct{}       { return c.stop }
+func (c stopCtx) Err() error {
+	if c.stop == nil {
+		return nil
+	}
+	select {
+	case <-c.stop:
+		return fmt.Errorf("serve: canceled")
+	default:
+		return nil
+	}
+}
+func (c stopCtx) Value(interface{}) interface{} { return nil }
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires POST", r.URL.Path))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) error(w http.ResponseWriter, code int, err error) {
+	s.m.requestErrors.Add(1)
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -169,6 +169,30 @@ func (v Vector) Equal(w Vector) bool {
 	return true
 }
 
+// Hash returns a 64-bit FNV-1a digest of the sparse representation
+// (indices and IEEE-754 value bits in order). Vectors that are Equal
+// hash identically; the graph package's layout cache keys prepared
+// per-piece artifacts by this hash (with an Equal check to resolve the
+// rare collision).
+func (v Vector) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for i, idx := range v.Idx {
+		mix(uint64(uint32(idx)))
+		mix(math.Float64bits(v.Val[i]))
+	}
+	return h
+}
+
 // Validate checks the internal invariants (sorted indices, non-negative
 // values). It exists so that deserialized vectors can be vetted.
 func (v Vector) Validate() error {
