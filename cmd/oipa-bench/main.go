@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
 	"oipa/internal/rrset"
+	"oipa/internal/serve"
 	"oipa/internal/topic"
 	"oipa/internal/xrand"
 )
@@ -34,6 +36,24 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// thetaStep is one request of the ascending-θ economics walk.
+type thetaStep struct {
+	Theta   int     `json:"theta"`
+	Outcome string  `json:"outcome"` // miss | extend | prefix | hit
+	MS      float64 `json:"ms"`      // registry Instance wall time
+}
+
+// thetaAscend pins the θ-monotone registry economics: N ascending-θ
+// requests over one campaign must run exactly one preparation plus one
+// ExtendTo per growth step — never a full re-sample — and a smaller-θ
+// request afterwards must be a (near-free) prefix hit.
+type thetaAscend struct {
+	Steps      []thetaStep `json:"steps"`
+	Prepares   int64       `json:"prepares"`
+	Extends    int64       `json:"extends"`
+	PrefixHits int64       `json:"prefix_hits"`
 }
 
 // report is the BENCH_serve.json schema.
@@ -48,7 +68,8 @@ type report struct {
 		M int `json:"m"`
 		Z int `json:"z"`
 	} `json:"graph"`
-	Benchmarks []result `json:"benchmarks"`
+	Benchmarks  []result     `json:"benchmarks"`
+	ThetaAscend *thetaAscend `json:"theta_ascend,omitempty"`
 }
 
 func main() {
@@ -175,6 +196,51 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := est.EstimateAU(greedy.Plan.Seeds, prob.Model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// θ-monotone registry: walk one campaign through ascending θ via a
+	// serve registry and record the per-step economics, then benchmark
+	// the prefix-hit path (a smaller-θ request against the grown entry).
+	srv, err := serve.New(serve.Config{
+		Graph:        g,
+		Pool:         pool,
+		Model:        prob.Model,
+		DefaultTheta: *theta,
+		MaxTheta:     4 * *theta,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	reg := srv.Registry()
+	ctx := context.Background()
+	ascend := &thetaAscend{}
+	for _, th := range []int{*theta / 4, *theta / 2, *theta, *theta / 4} {
+		start := time.Now()
+		_, outcome, err := reg.Instance(ctx, campaign, th, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ascend.Steps = append(ascend.Steps, thetaStep{
+			Theta:   th,
+			Outcome: outcome.String(),
+			MS:      float64(time.Since(start)) / float64(time.Millisecond),
+		})
+		log.Printf("theta_ascend: theta=%-8d %-7s %8.1f ms", th, outcome, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	snap := srv.Metrics()
+	ascend.Prepares = snap.Registry.Prepares
+	ascend.Extends = snap.Registry.Extends
+	ascend.PrefixHits = snap.Registry.PrefixHits
+	rep.ThetaAscend = ascend
+
+	run("registry_prefix_hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := reg.Instance(ctx, campaign, *theta/2, 1); err != nil {
 				b.Fatal(err)
 			}
 		}

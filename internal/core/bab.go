@@ -238,7 +238,7 @@ func solveBranchAndBound(inst *Instance, ev *evaluator, opts BABOptions, name st
 	// Eq. (6) scale when RawGap is set (see the option's comment).
 	gapBase := 0.0
 	if opts.RawGap {
-		gapBase = float64(inst.MRR.N()) * logistic.Sigmoid(-inst.Problem.Model.Alpha)
+		gapBase = float64(inst.Index.MRR().N()) * logistic.Sigmoid(-inst.Problem.Model.Alpha)
 	}
 	prune := func(upper float64) bool {
 		return upper+gapBase <= (bestUtil+gapBase)*(1+opts.Tolerance)

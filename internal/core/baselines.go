@@ -33,7 +33,7 @@ func SolveIM(inst *Instance, seed uint64) (*Result, error) {
 		return nil, err
 	}
 	col := rrset.NewCollectionLayout(lay, seed)
-	col.ExtendTo(inst.MRR.Theta())
+	col.ExtendTo(inst.Theta())
 	cover, err := im.GreedyCover(col.View(), inst.Problem.Pool, inst.Problem.K)
 	if err != nil {
 		return nil, err
@@ -120,7 +120,7 @@ func greedyCoverPiece(inst *Instance, j, k int) ([]int32, error) {
 	}
 	ix := inst.Index
 	pp := ix.PoolSize()
-	theta := inst.MRR.Theta()
+	theta := inst.Theta()
 	deg := make([]int64, pp)
 	for p := 0; p < pp; p++ {
 		deg[p] = int64(ix.Degree(j, int32(p)))
@@ -147,7 +147,7 @@ func greedyCoverPiece(inst *Instance, j, k int) ([]int32, error) {
 				continue
 			}
 			covered[i] = true
-			for _, v := range inst.MRR.Set(int(i), j) {
+			for _, v := range ix.MRR().Set(int(i), j) {
 				if p, ok := ix.PoolPos(v); ok {
 					deg[p]--
 				}

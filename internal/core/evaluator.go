@@ -23,7 +23,8 @@ type evaluator struct {
 	l        int
 	pp       int // pool size
 	numCands int
-	theta    int
+	theta    int // bound instance's sample count, set by bind
+	capTheta int // allocated per-sample array capacity, >= theta
 
 	// Per-sample coverage state for the plan under evaluation:
 	// masks[i] has bit j set when piece j of sample i is covered,
@@ -61,7 +62,7 @@ type evaluator struct {
 }
 
 func newEvaluator(inst *Instance) *evaluator {
-	ev := allocEvaluator(inst.L(), inst.Index.PoolSize(), inst.MRR.Theta())
+	ev := allocEvaluator(inst.L(), inst.Index.PoolSize(), inst.Theta())
 	ev.bind(inst)
 	return ev
 }
@@ -69,18 +70,20 @@ func newEvaluator(inst *Instance) *evaluator {
 // allocEvaluator allocates the scratch arrays for instances of the given
 // shape, without binding to a particular instance: the per-sample state
 // depends only on theta and the candidate state only on l·pp, so one
-// allocation serves every instance sharing these sizes (an instance and
-// its WithK/WithModel/WithBoundMode derivatives). EvaluatorPool recycles
-// these allocations across concurrent solves.
+// allocation serves every instance whose sample count is at most theta
+// and whose candidate shape matches (an instance, its WithK/WithModel/
+// WithBoundMode derivatives, and any θ-prefix of those). EvaluatorPool
+// recycles these allocations across concurrent solves.
 func allocEvaluator(l, pp, theta int) *evaluator {
 	ev := &evaluator{
 		l:          l,
 		pp:         pp,
 		numCands:   l * pp,
-		theta:      theta,
+		capTheta:   theta,
 		masks:      make([]uint32, theta),
 		cnts:       make([]uint8, theta),
 		refs:       make([]uint8, theta),
+		au:         rrset.NewAUScratch(theta),
 		takenEpoch: make([]uint32, l*pp),
 		exclEpoch:  make([]uint32, l*pp),
 		epoch:      1,
@@ -98,15 +101,15 @@ func allocEvaluator(l, pp, theta int) *evaluator {
 
 // bind points the evaluator at an instance of its shape: it loads the
 // instance's tangent bound tables (which differ across WithModel /
-// WithBoundMode derivatives) and zeroes the per-solve counters. The
-// per-sample scratch is assumed clean (fresh allocation or released via
+// WithBoundMode derivatives), adopts the instance's sample count (a
+// θ-prefix instance binds with its prefix θ; the arrays are sized to
+// capTheta >= θ) and zeroes the per-solve counters. The per-sample
+// scratch is assumed clean (fresh allocation or released via
 // resetScratch).
 func (ev *evaluator) bind(inst *Instance) {
 	ev.inst = inst
+	ev.theta = inst.Theta()
 	ev.tauEvals = 0
-	if ev.au == nil {
-		ev.au = inst.Index.NewAUScratch()
-	}
 	for cA := 0; cA <= ev.l; cA++ {
 		for c := cA; c <= ev.l; c++ {
 			ev.value[cA][c] = inst.Bounds.Value(cA, c)
@@ -229,7 +232,7 @@ type boundResult struct {
 
 // scale converts per-sample τ units into utility units n/θ·x.
 func (ev *evaluator) scale(x float64) float64 {
-	return x * float64(ev.inst.MRR.N()) / float64(ev.theta)
+	return x * float64(ev.inst.Index.MRR().N()) / float64(ev.theta)
 }
 
 // computeBound is Algorithm 2: plain greedy maximization of the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EvaluatorPool recycles solver scratch across solves so a long-running
@@ -13,33 +14,61 @@ import (
 // are immutable and shared), so any number of pooled solves may run in
 // parallel on one instance without data races.
 //
-// A pool is shaped by (ℓ, |pool|, θ) at construction; it serves the
-// instance it was built for and any WithK / WithModel / WithBoundMode
-// derivative (those share the shape, and bind reloads the bound tables
-// per solve). Solving an instance of a different shape is an error.
+// A pool is shaped by (ℓ, |pool|) at construction and carries a sample
+// capacity that only grows: it serves the instance it was built for, any
+// WithK / WithModel / WithBoundMode derivative (same shape; bind reloads
+// the bound tables per solve), any θ-prefix of those, and — after
+// EnsureTheta — instances grown by ExtendTo. Solving an instance of a
+// different (ℓ, |pool|) shape, or one with more samples than the
+// capacity, is an error.
 type EvaluatorPool struct {
-	l, pp, theta int
-	pool         sync.Pool
+	l, pp int
+	theta atomic.Int64 // sample capacity; grows via EnsureTheta
+	pool  sync.Pool
 }
 
 // NewEvaluatorPool returns a pool shaped for inst and its derivatives.
 func NewEvaluatorPool(inst *Instance) *EvaluatorPool {
-	p := &EvaluatorPool{l: inst.L(), pp: inst.Index.PoolSize(), theta: inst.MRR.Theta()}
-	p.pool.New = func() interface{} { return allocEvaluator(p.l, p.pp, p.theta) }
+	p := &EvaluatorPool{l: inst.L(), pp: inst.Index.PoolSize()}
+	p.theta.Store(int64(inst.Theta()))
+	p.pool.New = func() interface{} { return allocEvaluator(p.l, p.pp, int(p.theta.Load())) }
 	return p
 }
 
-// Compatible reports whether inst matches the pool's scratch shape.
+// EnsureTheta raises the pool's sample capacity to at least theta, so
+// instances grown by Instance.ExtendTo keep solving through the same
+// pool. Pooled evaluators allocated before the raise are discarded
+// lazily at checkout (their θ-sized arrays are too small); in-flight
+// solves over smaller instances are unaffected. Capacity never shrinks.
+func (p *EvaluatorPool) EnsureTheta(theta int) {
+	for {
+		cur := p.theta.Load()
+		if int64(theta) <= cur {
+			return
+		}
+		if p.theta.CompareAndSwap(cur, int64(theta)) {
+			return
+		}
+	}
+}
+
+// Compatible reports whether the pool can serve inst: same (ℓ, |pool|)
+// shape, sample count within the pool's capacity.
 func (p *EvaluatorPool) Compatible(inst *Instance) bool {
-	return inst.L() == p.l && inst.Index.PoolSize() == p.pp && inst.MRR.Theta() == p.theta
+	return inst.L() == p.l && inst.Index.PoolSize() == p.pp && int64(inst.Theta()) <= p.theta.Load()
 }
 
 func (p *EvaluatorPool) acquire(inst *Instance) (*evaluator, error) {
 	if !p.Compatible(inst) {
-		return nil, fmt.Errorf("core: instance shape (l=%d, pool=%d, theta=%d) does not match pool (l=%d, pool=%d, theta=%d)",
-			inst.L(), inst.Index.PoolSize(), inst.MRR.Theta(), p.l, p.pp, p.theta)
+		return nil, fmt.Errorf("core: instance shape (l=%d, pool=%d, theta=%d) does not fit pool (l=%d, pool=%d, theta<=%d)",
+			inst.L(), inst.Index.PoolSize(), inst.Theta(), p.l, p.pp, p.theta.Load())
 	}
 	ev := p.pool.Get().(*evaluator)
+	if ev.capTheta < inst.Theta() {
+		// Pooled scratch predates an EnsureTheta raise; drop it and
+		// allocate at the current capacity.
+		ev = allocEvaluator(p.l, p.pp, int(p.theta.Load()))
+	}
 	ev.bind(inst)
 	return ev, nil
 }

@@ -136,13 +136,51 @@ func TestEvaluatorPoolDerivedInstances(t *testing.T) {
 	if gotM.Utility != wantM.Utility {
 		t.Fatalf("pooled WithModel solve %v != %v (stale bound tables?)", gotM.Utility, wantM.Utility)
 	}
-	// An instance of a different shape is rejected, not corrupted.
-	other, err := Prepare(prob, 150, 3)
+	// A smaller-θ instance fits the pool's capacity (the θ-prefix serving
+	// path depends on this) and solves exactly like an unpooled run.
+	smaller, err := Prepare(prob, 150, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.SolveBABP(other, DefaultBABPOptions()); err == nil {
-		t.Fatal("pool accepted an instance with a different theta")
+	wantS, err := SolveBABP(smaller, DefaultBABPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := pool.SolveBABP(smaller, DefaultBABPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS.Utility != wantS.Utility {
+		t.Fatalf("pooled smaller-theta solve %v != %v", gotS.Utility, wantS.Utility)
+	}
+	// A larger θ exceeds the capacity until EnsureTheta raises it; a
+	// different candidate shape is rejected outright.
+	larger, err := Prepare(prob, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.SolveBABP(larger, DefaultBABPOptions()); err == nil {
+		t.Fatal("pool accepted an instance above its theta capacity")
+	}
+	pool.EnsureTheta(300)
+	wantL, err := SolveBABP(larger, DefaultBABPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotL, err := pool.SolveBABP(larger, DefaultBABPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotL.Utility != wantL.Utility {
+		t.Fatalf("pooled grown-theta solve %v != %v", gotL.Utility, wantL.Utility)
+	}
+	otherShape := randomProblem(t, 8, 30, 150, 9, 2, 2) // 9-promoter pool
+	badInst, err := Prepare(otherShape, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.SolveBABP(badInst, DefaultBABPOptions()); err == nil {
+		t.Fatal("pool accepted an instance with a different pool size")
 	}
 }
 

@@ -164,6 +164,13 @@ func (p Plan) Has(j int, v int32) bool {
 // Instance is a prepared OIPA instance: the problem plus the MRR samples,
 // the promoter-pool inverted index, and the tangent bound table that the
 // solvers share. Prepare once, solve many times.
+//
+// Solvers never read MRR directly: they go through Index, whose MRR()
+// view is an immutable snapshot frozen at index-build time. That split
+// is what makes instances θ-monotone — MRR is the growable owner
+// (ExtendTo appends samples in place), while every published Instance,
+// including θ-prefix derivatives (Prefix), keeps reading its own frozen
+// view and stays bit-identical forever.
 type Instance struct {
 	Problem    *Problem
 	PieceProbs [][]float64
@@ -176,8 +183,11 @@ type Instance struct {
 	Index   *rrset.Index
 	Bounds  *logistic.BoundTable
 
-	// SampleTime is how long MRR sampling took; the paper reports it
-	// separately (Table III) and excludes it from solver comparisons.
+	// SampleTime is how long MRR sampling (plus index construction, for
+	// ExtendTo steps) took for THIS instance: the full preparation for a
+	// Prepare'd instance, only the growth step's delta for an ExtendTo
+	// result. The paper reports sampling separately (Table III) and
+	// excludes it from solver comparisons.
 	SampleTime time.Duration
 }
 
@@ -266,6 +276,57 @@ func PrepareLayouts(p *Problem, layouts []*graph.PieceLayout, theta int, seed ui
 
 // L returns the number of campaign pieces.
 func (in *Instance) L() int { return in.Problem.Campaign.L() }
+
+// Theta returns the number of MRR samples visible to the solvers: the
+// sample count of the index's frozen view. A θ-prefix instance reports
+// its prefix θ; the backing collection (MRR) may hold more samples.
+func (in *Instance) Theta() int { return in.Index.MRR().Theta() }
+
+// Prefix returns a shallow copy of the instance bounded to the first
+// theta MRR samples: the index's inverted lists stop at sample theta and
+// every estimate rescales by theta, so solver results are bit-identical
+// to an instance freshly prepared at theta with the same seed (sample i
+// does not depend on the growth schedule). Derivation is O(1); the
+// samples, CSR and bound table are shared with the parent.
+func (in *Instance) Prefix(theta int) (*Instance, error) {
+	ix, err := in.Index.Prefix(theta)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := *in
+	out.Index = ix
+	return &out, nil
+}
+
+// ExtendTo grows the backing MRR collection in place to at least theta
+// samples and returns a new instance whose index is rebuilt over the
+// grown view. The receiver — and any previously returned instance,
+// prefix, or estimator over their views — stays valid and bit-identical:
+// views are frozen snapshots and shard arenas are append-only. The
+// returned instance's SampleTime covers only this growth step (the
+// incremental sampling plus the re-index).
+//
+// ExtendTo must not run concurrently with itself or with other mutators
+// of the same collection (the serve registry serializes growth behind a
+// per-entry lock); concurrent readers of published instances are safe.
+// theta at or below the current Theta() returns the receiver unchanged.
+func (in *Instance) ExtendTo(theta int) (*Instance, error) {
+	if theta <= in.Theta() {
+		return in, nil
+	}
+	start := time.Now()
+	if err := in.MRR.ExtendTo(theta); err != nil {
+		return nil, err
+	}
+	ix, err := in.MRR.BuildIndex(in.Problem.Pool)
+	if err != nil {
+		return nil, err
+	}
+	out := *in
+	out.Index = ix
+	out.SampleTime = time.Since(start)
+	return &out, nil
+}
 
 // WithK returns a shallow copy of the instance with a different budget.
 // The MRR samples, index and bound table are shared: none depend on k, so

@@ -12,6 +12,7 @@ import (
 
 	"oipa/internal/core"
 	"oipa/internal/gen"
+	"oipa/internal/graph"
 	"oipa/internal/logistic"
 	"oipa/internal/topic"
 	"oipa/internal/xrand"
@@ -117,6 +118,12 @@ type Workload struct {
 	Pool      []int32
 	Instance  *core.Instance
 	BuildTime time.Duration
+
+	// Layouts caches the dataset's piece layouts by topic-vector hash.
+	// Instance preparation routes through it, so sweeps that re-prepare
+	// over recurring pieces (DeriveCampaign: Figure 5's nested
+	// campaigns) stop rebuilding identical layouts.
+	Layouts *graph.LayoutCache
 }
 
 // BuildWorkload generates the dataset, draws the campaign (uniform
@@ -156,14 +163,10 @@ func buildWorkload(c Config, explicit *topic.Campaign) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	prob := &core.Problem{
-		G:        d.G,
-		Campaign: campaign,
-		Pool:     pool,
-		K:        c.K,
-		Model:    c.Model(),
-	}
-	inst, err := core.Prepare(prob, c.Theta, c.Seed+3000)
+	// Unbounded cache: a sweep touches at most a handful of distinct
+	// pieces, and the workload's lifetime is the experiment run.
+	cache := graph.NewLayoutCache(d.G, 0)
+	inst, err := prepareCached(cache, d, campaign, pool, c)
 	if err != nil {
 		return nil, err
 	}
@@ -174,5 +177,69 @@ func buildWorkload(c Config, explicit *topic.Campaign) (*Workload, error) {
 		Pool:      pool,
 		Instance:  inst,
 		BuildTime: time.Since(start),
+		Layouts:   cache,
+	}, nil
+}
+
+// prepareCached prepares an instance with the per-piece layouts served
+// from the workload's layout cache (core.PrepareLayouts instead of
+// core.Prepare, which would rebuild every layout from scratch).
+func prepareCached(cache *graph.LayoutCache, d *gen.Dataset, campaign topic.Campaign, pool []int32, c Config) (*core.Instance, error) {
+	layouts := make([]*graph.PieceLayout, campaign.L())
+	for j, piece := range campaign.Pieces {
+		lay, err := cache.Get(piece.Dist)
+		if err != nil {
+			return nil, fmt.Errorf("exp: piece %d: %w", j, err)
+		}
+		layouts[j] = lay
+	}
+	prob := &core.Problem{
+		G:        d.G,
+		Campaign: campaign,
+		Pool:     pool,
+		K:        c.K,
+		Model:    c.Model(),
+	}
+	return core.PrepareLayouts(prob, layouts, c.Theta, c.Seed+3000)
+}
+
+// DeriveCampaign prepares a workload for a different campaign over this
+// workload's dataset, reusing its layout cache (pieces recurring across
+// the sweep — Figure 5 evaluates nested prefixes of one piece list —
+// hit cached layouts instead of being rebuilt) and, when the pool
+// fraction is unchanged, its promoter pool. The dataset is NOT
+// regenerated, so c must describe the workload's (preset, scale, seed)
+// dataset — a mismatch is an error, not a silent wrong-graph run.
+func (w *Workload) DeriveCampaign(c Config, campaign topic.Campaign) (*Workload, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if campaign.L() != c.L {
+		return nil, fmt.Errorf("exp: campaign has %d pieces, config says %d", campaign.L(), c.L)
+	}
+	if c.Preset != w.Config.Preset || c.Scale != w.Config.Scale || c.Seed != w.Config.Seed {
+		return nil, fmt.Errorf("exp: derived config describes dataset (%s, scale %v, seed %d), workload holds (%s, scale %v, seed %d)",
+			c.Preset, c.Scale, c.Seed, w.Config.Preset, w.Config.Scale, w.Config.Seed)
+	}
+	start := time.Now()
+	pool := w.Pool
+	if c.PoolFraction != w.Config.PoolFraction {
+		var err error
+		if pool, err = gen.PromoterPool(w.Dataset.G, c.PoolFraction, c.Seed+2000); err != nil {
+			return nil, err
+		}
+	}
+	inst, err := prepareCached(w.Layouts, w.Dataset, campaign, pool, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Config:    c,
+		Dataset:   w.Dataset,
+		Campaign:  campaign,
+		Pool:      pool,
+		Instance:  inst,
+		BuildTime: time.Since(start),
+		Layouts:   w.Layouts,
 	}, nil
 }

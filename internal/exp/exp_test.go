@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"oipa/internal/gen"
+	"oipa/internal/topic"
 )
 
 // tinyConfig keeps harness tests fast.
@@ -70,6 +71,60 @@ func TestBuildWorkload(t *testing.T) {
 	}
 	if len(w.Pool) == 0 {
 		t.Fatal("empty pool")
+	}
+	if w.Layouts == nil || w.Layouts.Len() != 2 {
+		t.Fatal("workload layouts did not route through the cache")
+	}
+}
+
+// TestDeriveCampaignSharesLayouts pins the Figure-5 sweep economics:
+// deriving nested sub-campaigns from one workload reuses the dataset,
+// pool and cached piece layouts instead of rebuilding them per point.
+func TestDeriveCampaignSharesLayouts(t *testing.T) {
+	c := tinyConfig(gen.PresetLastfm)
+	base, err := BuildWorkload(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := base.Layouts.Stats()
+	sub := topic.Campaign{Name: base.Campaign.Name, Pieces: base.Campaign.Pieces[:1]}
+	cl := c
+	cl.L = 1
+	w, err := base.DeriveCampaign(cl, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dataset != base.Dataset {
+		t.Fatal("derived workload regenerated the dataset")
+	}
+	if len(w.Pool) != len(base.Pool) {
+		t.Fatal("derived workload rebuilt the promoter pool for identical parameters")
+	}
+	hits, misses := base.Layouts.Stats()
+	if misses != missesBefore {
+		t.Fatalf("derivation rebuilt layouts: misses %d -> %d", missesBefore, misses)
+	}
+	if hits == 0 {
+		t.Fatal("derivation never hit the layout cache")
+	}
+	if w.Instance.Theta() != cl.Theta {
+		t.Fatalf("derived instance theta %d, want %d", w.Instance.Theta(), cl.Theta)
+	}
+	if w.Instance.L() != 1 {
+		t.Fatalf("derived instance pieces %d, want 1", w.Instance.L())
+	}
+	// A config describing a different dataset is rejected, not silently
+	// prepared against the wrong graph.
+	for name, mutate := range map[string]func(*Config){
+		"preset": func(c *Config) { c.Preset = gen.PresetTweet },
+		"scale":  func(c *Config) { c.Scale *= 2 },
+		"seed":   func(c *Config) { c.Seed++ },
+	} {
+		bad := cl
+		mutate(&bad)
+		if _, err := base.DeriveCampaign(bad, sub); err == nil {
+			t.Fatalf("DeriveCampaign accepted a mismatched %s", name)
+		}
 	}
 }
 

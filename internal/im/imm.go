@@ -116,11 +116,21 @@ func IMM(g *graph.Graph, probs []float64, candidates []int32, k int, opts IMMOpt
 		theta = 1
 	}
 	col.ExtendTo(theta)
-	res, err := GreedyCover(col.View(), candidates, k)
+	// Phase 1 may have oversampled past θ = λ*/LB; select over exactly θ
+	// samples via a prefix view (set i is schedule-independent, so this
+	// matches a collection sampled to θ directly) instead of silently
+	// granting phase 2 the surplus.
+	v := col.View()
+	if theta < v.Theta() {
+		if v, err = v.Prefix(theta); err != nil {
+			return nil, err
+		}
+	}
+	res, err := GreedyCover(v, candidates, k)
 	if err != nil {
 		return nil, err
 	}
-	return &IMMResult{CoverResult: *res, Theta: col.Theta(), LB: lb}, nil
+	return &IMMResult{CoverResult: *res, Theta: v.Theta(), LB: lb}, nil
 }
 
 // logChoose returns ln C(n, k).

@@ -2,6 +2,7 @@ package rrset
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"oipa/internal/logistic"
@@ -17,6 +18,11 @@ import (
 //
 // Pool positions (dense indices into the pool slice) identify promoters
 // throughout the solver hot paths; PoolPos translates node ids.
+//
+// Prefix derives a θ-bounded index sharing this CSR: its inverted lists
+// stop at sample θ, and its MRR() view reports θ samples, so every
+// consumer — solvers, estimators — transparently computes the same
+// result it would over an index freshly built at θ.
 type Index struct {
 	mrr  *MRRView
 	pool []int32
@@ -25,6 +31,12 @@ type Index struct {
 	// CSR over (piece, pool position): lists of sample indices.
 	off     []int64
 	samples []int32
+
+	// limit bounds the sample indices Samples/Degree expose: entries
+	// >= limit (present when this is a Prefix of a larger index) are cut
+	// off. For a full index limit equals the view's θ, so the bound never
+	// fires.
+	limit int32
 }
 
 // BuildIndex inverts the collection over the given promoter pool. The
@@ -41,7 +53,7 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 		return nil, fmt.Errorf("rrset: empty promoter pool")
 	}
 	v := m.View()
-	ix := &Index{mrr: v, pool: append([]int32(nil), pool...), pos: make([]int32, v.N())}
+	ix := &Index{mrr: v, pool: append([]int32(nil), pool...), pos: make([]int32, v.N()), limit: int32(v.Theta())}
 	for i := range ix.pos {
 		ix.pos[i] = -1
 	}
@@ -121,8 +133,34 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 	return ix, nil
 }
 
-// MRR returns the immutable sample view the index was built over.
+// MRR returns the immutable sample view the index was built over (for a
+// prefix index, the θ-prefix of that view).
 func (ix *Index) MRR() *MRRView { return ix.mrr }
+
+// Prefix returns an index bounded to the first theta samples, sharing
+// this index's CSR storage: Samples and Degree cut their (ascending)
+// inverted lists at sample theta, and MRR() is the θ-prefix view, so
+// solver results over the prefix index are bit-identical to an index
+// freshly built over a θ-sample collection (pinned by golden tests).
+// Derivation is O(1) in the collection size; theta must lie in
+// [1, MRR().Theta()], and passing the full θ returns the index itself.
+func (ix *Index) Prefix(theta int) (*Index, error) {
+	v, err := ix.mrr.Prefix(theta)
+	if err != nil {
+		return nil, err
+	}
+	if v == ix.mrr {
+		return ix, nil
+	}
+	return &Index{
+		mrr:     v,
+		pool:    ix.pool,
+		pos:     ix.pos,
+		off:     ix.off,
+		samples: ix.samples,
+		limit:   int32(theta),
+	}, nil
+}
 
 // Pool returns the promoter pool (do not modify).
 func (ix *Index) Pool() []int32 { return ix.pool }
@@ -141,16 +179,23 @@ func (ix *Index) PoolPos(v int32) (int32, bool) {
 }
 
 // Samples returns the sample indices whose RR set for piece j contains
-// the promoter at pool position p (aliases internal storage).
+// the promoter at pool position p (aliases internal storage). On a
+// prefix index the list stops before sample θ; lists are ascending, so
+// the cut is one binary search — and on a full index the last entry is
+// always below the limit, so the fast path returns the whole list with
+// no search at all.
 func (ix *Index) Samples(j int, p int32) []int32 {
 	slot := j*len(ix.pool) + int(p)
-	return ix.samples[ix.off[slot]:ix.off[slot+1]]
+	list := ix.samples[ix.off[slot]:ix.off[slot+1]]
+	if n := len(list); n > 0 && list[n-1] >= ix.limit {
+		list = list[:sort.Search(n, func(i int) bool { return list[i] >= ix.limit })]
+	}
+	return list
 }
 
 // Degree returns len(Samples(j, p)) without materializing the slice.
 func (ix *Index) Degree(j int, p int32) int {
-	slot := j*len(ix.pool) + int(p)
-	return int(ix.off[slot+1] - ix.off[slot])
+	return len(ix.Samples(j, p))
 }
 
 // AUScratch is reusable per-caller scratch for EstimateAUWith: two
@@ -163,10 +208,17 @@ type AUScratch struct {
 	touched   []int32
 }
 
+// NewAUScratch returns scratch sized for theta samples. Scratch may be
+// used with any index whose sample count is at most theta — a θ-prefix
+// index, or the index it was sized for — so callers serving mixed
+// prefix sizes (evaluator pools) allocate once at the largest θ.
+func NewAUScratch(theta int) *AUScratch {
+	return &AUScratch{counts: make([]uint8, theta), pieceSeen: make([]int32, theta)}
+}
+
 // NewAUScratch returns scratch sized for this index's sample count.
 func (ix *Index) NewAUScratch() *AUScratch {
-	theta := ix.mrr.Theta()
-	return &AUScratch{counts: make([]uint8, theta), pieceSeen: make([]int32, theta)}
+	return NewAUScratch(ix.mrr.Theta())
 }
 
 // EstimateAU estimates σ(S̄) through the index: every seed must be a pool
@@ -188,7 +240,7 @@ func (ix *Index) EstimateAUWith(plan [][]int32, model logistic.Model, s *AUScrat
 	if err := model.Validate(); err != nil {
 		return 0, err
 	}
-	if len(s.counts) != m.Theta() {
+	if len(s.counts) < m.Theta() {
 		return 0, fmt.Errorf("rrset: scratch sized for %d samples, index has %d", len(s.counts), m.Theta())
 	}
 	adoptAt := make([]float64, m.l+1)

@@ -149,6 +149,21 @@ func (c *Collection) View() *View {
 	return &View{collCore{g: c.g, st: c.st.snapshot(), roots: c.roots[:len(c.roots):len(c.roots)]}}
 }
 
+// Prefix returns a view over the first theta sets of v. Because set i is
+// deterministic in (graph, probs, seed) — independent of how or when the
+// collection grew — a θ-prefix view is bit-identical to the view of a
+// collection freshly sampled to θ with the same seed. theta must lie in
+// [1, v.Theta()]; passing v.Theta() returns v itself.
+func (v *View) Prefix(theta int) (*View, error) {
+	if theta <= 0 || theta > v.Theta() {
+		return nil, fmt.Errorf("rrset: prefix theta %d outside [1, %d]", theta, v.Theta())
+	}
+	if theta == v.Theta() {
+		return v, nil
+	}
+	return &View{collCore{g: v.g, st: v.st, roots: v.roots[:theta:theta]}}, nil
+}
+
 // ExtendTo grows the collection to theta RR sets, in place: samples are
 // generated in parallel (work-stealing blocks appending into per-worker
 // shards) but indexed deterministically — set i is always the same for a
@@ -214,17 +229,28 @@ func (m *mrrCore) Shards() int { return m.st.numShards() }
 // zero-when-uncovered semantics of Eq. 1). It is O(total RR size) per
 // call; the solvers use the inverted Index instead. Plans may seed any
 // graph node, not just pool members; ids outside the graph never match.
+// Estimating over an empty collection is an error (there is no sample
+// mean to report), never NaN.
 func (m *mrrCore) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
 	for len(m.planMark) < m.l {
 		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
 	}
-	return m.estimateAUScanWith(m.planMark, plan, model)
+	return m.estimateAUScanBounded(m.planMark, plan, model, m.Theta())
 }
 
-// estimateAUScanWith is EstimateAUScan over caller-supplied mark scratch
-// (one stamp per piece, sized to the graph); AUEstimator uses it to scan
-// a shared view concurrently.
-func (m *mrrCore) estimateAUScanWith(marks []*bitset.Stamp, plan [][]int32, model logistic.Model) (float64, error) {
+// estimateAUScanBounded is EstimateAUScan over caller-supplied mark
+// scratch (one stamp per piece, sized to the graph), restricted to the
+// first theta samples and rescaled by theta — the θ-prefix semantics:
+// the result is bit-identical to a full scan of a collection freshly
+// sampled to theta with the same seed. AUEstimator uses it to scan a
+// shared view concurrently.
+func (m *mrrCore) estimateAUScanBounded(marks []*bitset.Stamp, plan [][]int32, model logistic.Model, theta int) (float64, error) {
+	if m.Theta() == 0 {
+		return 0, fmt.Errorf("rrset: estimate over an empty collection")
+	}
+	if theta <= 0 || theta > m.Theta() {
+		return 0, fmt.Errorf("rrset: prefix theta %d outside [1, %d]", theta, m.Theta())
+	}
 	if len(plan) != m.l {
 		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
 	}
@@ -244,7 +270,7 @@ func (m *mrrCore) estimateAUScanWith(marks []*bitset.Stamp, plan [][]int32, mode
 		}
 	}
 	total := 0.0
-	for i := 0; i < m.Theta(); i++ {
+	for i := 0; i < theta; i++ {
 		count := 0
 		for j := 0; j < m.l; j++ {
 			if !active[j] {
@@ -260,7 +286,7 @@ func (m *mrrCore) estimateAUScanWith(marks []*bitset.Stamp, plan [][]int32, mode
 		}
 		total += model.Adoption(count)
 	}
-	return float64(m.g.N()) * total / float64(m.Theta()), nil
+	return float64(m.g.N()) * total / float64(theta), nil
 }
 
 // MRRCollection holds θ multi-RR samples over ℓ pieces in sharded
@@ -311,13 +337,38 @@ func (v *MRRView) NewEstimator() *AUEstimator {
 // scratch: same semantics, bit-identical result, concurrency-safe across
 // estimators of the same view.
 func (e *AUEstimator) EstimateAU(plan [][]int32, model logistic.Model) (float64, error) {
-	return e.v.estimateAUScanWith(e.marks, plan, model)
+	return e.v.estimateAUScanBounded(e.marks, plan, model, e.v.Theta())
+}
+
+// EstimateAUPrefix is EstimateAU restricted to the view's first theta
+// samples, rescaled by theta — bit-identical to EstimateAU on a view of
+// a collection freshly sampled to theta with the same seed. The mark
+// scratch is sized by the graph, not by θ, so one pooled estimator
+// serves requests of any prefix size over its view.
+func (e *AUEstimator) EstimateAUPrefix(plan [][]int32, model logistic.Model, theta int) (float64, error) {
+	return e.v.estimateAUScanBounded(e.marks, plan, model, theta)
 }
 
 // View returns an immutable snapshot of the collection's current
 // samples.
 func (m *MRRCollection) View() *MRRView {
 	return &MRRView{mrrCore{g: m.g, l: m.l, st: m.st.snapshot(), roots: m.roots[:len(m.roots):len(m.roots)]}}
+}
+
+// Prefix returns a view over the first theta samples of v. MRR sample i
+// is deterministic in (graph, layouts, seed) — independent of the growth
+// schedule — so a θ-prefix view is bit-identical to the view of a
+// collection freshly sampled to θ with the same seed: every estimate over
+// it scans exactly those samples and rescales by θ. theta must lie in
+// [1, v.Theta()]; passing v.Theta() returns v itself.
+func (v *MRRView) Prefix(theta int) (*MRRView, error) {
+	if theta <= 0 || theta > v.Theta() {
+		return nil, fmt.Errorf("rrset: prefix theta %d outside [1, %d]", theta, v.Theta())
+	}
+	if theta == v.Theta() {
+		return v, nil
+	}
+	return &MRRView{mrrCore{g: v.g, l: v.l, st: v.st, roots: v.roots[:theta:theta]}}, nil
 }
 
 // newMRRCollection returns an empty collection over prebuilt layouts.

@@ -18,7 +18,9 @@ type metrics struct {
 	solveErrors    atomic.Int64
 
 	prepares          atomic.Int64 // core.PrepareLayouts invocations
-	instanceHits      atomic.Int64
+	extends           atomic.Int64 // growth steps: Instance.ExtendTo + re-index runs
+	instanceHits      atomic.Int64 // exact-θ snapshot served
+	prefixHits        atomic.Int64 // θ-prefix of a larger snapshot served
 	instanceMisses    atomic.Int64
 	singleflightWaits atomic.Int64 // requests that waited on another's Prepare
 	instanceEvictions atomic.Int64
@@ -47,7 +49,9 @@ type MetricsSnapshot struct {
 	} `json:"solves"`
 	Registry struct {
 		Prepares          int64 `json:"prepares"`
+		Extends           int64 `json:"extends"`
 		InstanceHits      int64 `json:"instance_hits"`
+		PrefixHits        int64 `json:"prefix_hits"`
 		InstanceMisses    int64 `json:"instance_misses"`
 		SingleflightWaits int64 `json:"singleflight_waits"`
 		InstanceEvictions int64 `json:"instance_evictions"`
@@ -77,7 +81,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Solves.Total = m.solvesTotal.Load()
 	s.Solves.Errors = m.solveErrors.Load()
 	s.Registry.Prepares = m.prepares.Load()
+	s.Registry.Extends = m.extends.Load()
 	s.Registry.InstanceHits = m.instanceHits.Load()
+	s.Registry.PrefixHits = m.prefixHits.Load()
 	s.Registry.InstanceMisses = m.instanceMisses.Load()
 	s.Registry.SingleflightWaits = m.singleflightWaits.Load()
 	s.Registry.InstanceEvictions = m.instanceEvictions.Load()

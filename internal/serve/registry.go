@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"oipa/internal/core"
 	"oipa/internal/graph"
@@ -14,16 +16,18 @@ import (
 	"oipa/internal/topic"
 )
 
-// instanceKey identifies one prepared sampling artifact: the campaign's
+// instanceKey identifies one θ-monotone sampling entry: the campaign's
 // canonical piece content (names excluded — two campaigns with the same
-// distributions share samples), the sample count and the sampling seed.
-// Budget k and the adoption model are deliberately NOT part of the key:
-// neither affects the MRR samples or the pool index, so per-request
-// variation is served through core.Instance.WithK / WithModel shallow
-// copies over one cached artifact.
+// distributions share samples) and the sampling seed. θ is deliberately
+// NOT part of the key: MRR sample i is identical for a given (campaign,
+// seed) regardless of how far the collection has grown, so one entry
+// serves every requested θ — smaller ones through θ-prefix views,
+// larger ones by extending the shared collection in place. Budget k and
+// the adoption model are not in the key either: neither affects the
+// samples or the index, so per-request variation is served through
+// core.Instance.WithK / WithModel shallow copies over one artifact.
 type instanceKey struct {
 	campaign string
-	theta    int
 	seed     uint64
 }
 
@@ -41,37 +45,121 @@ func campaignKey(c topic.Campaign) string {
 	return sb.String()
 }
 
-// prepared bundles one cached core.Instance with the per-instance reuse
-// machinery: an EvaluatorPool so concurrent solves recycle solver
-// scratch, and a pool of AUEstimators sharing the instance's MRR view
-// for concurrent estimate queries.
-type prepared struct {
+// Outcome classifies how the registry satisfied an Instance call.
+type Outcome int
+
+const (
+	// OutcomeMiss: no entry existed; a full preparation ran.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: an artifact at exactly the requested θ was served.
+	OutcomeHit
+	// OutcomePrefix: a larger artifact was served as a θ-prefix view —
+	// no sampling, no index work.
+	OutcomePrefix
+	// OutcomeExtend: the entry's collection was grown to the requested θ
+	// (one incremental sampling pass plus a re-index) and a new artifact
+	// was published.
+	OutcomeExtend
+)
+
+// CacheHit reports whether the request was served without any sampling
+// work (an exact or θ-prefix artifact).
+func (o Outcome) CacheHit() bool { return o == OutcomeHit || o == OutcomePrefix }
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomePrefix:
+		return "prefix"
+	case OutcomeExtend:
+		return "extend"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Artifact is one immutable published snapshot of a θ-monotone entry: a
+// prepared core.Instance frozen at the snapshot's θ, the entry's shared
+// EvaluatorPool, and a pool of AUEstimators over the snapshot's MRR
+// view. Snapshots are never invalidated — growth publishes a NEW
+// Artifact while in-flight readers keep using the one they hold (views
+// are frozen and shard arenas append-only, so old snapshots stay
+// bit-identical forever).
+type Artifact struct {
+	theta int
 	inst  *core.Instance
 	evals *core.EvaluatorPool
 	ests  sync.Pool // of *rrset.AUEstimator over inst.Index.MRR()
-
-	err     error
-	ready   chan struct{} // closed once inst/err are set
-	lastUse int64
 }
 
-// estimator checks an AUEstimator out of the entry's pool.
-func (p *prepared) estimator() *rrset.AUEstimator {
-	if e, ok := p.ests.Get().(*rrset.AUEstimator); ok {
+// Theta returns the sample count this artifact was frozen at (requests
+// with smaller θ are served as prefixes of it).
+func (a *Artifact) Theta() int { return a.theta }
+
+// Instance returns the artifact's full-θ prepared instance. Callers must
+// treat it as immutable and go through the artifact's evaluator and
+// estimator pools for any scratch-carrying operation.
+func (a *Artifact) Instance() *core.Instance { return a.inst }
+
+// InstanceAt returns the instance bounded to the requested θ: the full
+// instance when theta matches, an O(1) θ-prefix shallow copy when it is
+// smaller. Solver results over the prefix are bit-identical to a fresh
+// θ-sized preparation. theta above the artifact's θ is an error (the
+// registry grows entries before handing out artifacts, so handlers
+// never see it).
+func (a *Artifact) InstanceAt(theta int) (*core.Instance, error) {
+	if theta == a.theta {
+		return a.inst, nil
+	}
+	return a.inst.Prefix(theta)
+}
+
+// estimator checks an AUEstimator out of the artifact's pool. Estimator
+// mark scratch is sized by the graph, not θ, so one estimator serves any
+// θ-prefix of the artifact's view (AUEstimator.EstimateAUPrefix).
+func (a *Artifact) estimator() *rrset.AUEstimator {
+	if e, ok := a.ests.Get().(*rrset.AUEstimator); ok {
 		return e
 	}
-	return p.inst.Index.MRR().NewEstimator()
+	return a.inst.Index.MRR().NewEstimator()
 }
 
-func (p *prepared) putEstimator(e *rrset.AUEstimator) { p.ests.Put(e) }
+func (a *Artifact) putEstimator(e *rrset.AUEstimator) { a.ests.Put(e) }
+
+// entry is one θ-monotone registry slot. The initial preparation runs
+// once (ready/err, singleflight); afterwards art always holds the
+// current snapshot and only grows. grow is a one-slot semaphore
+// serializing ExtendTo + re-index, so concurrent larger-θ requests run
+// one sampling pass per growth step, never a duplicate — a channel
+// rather than a mutex so requests canceled while queued behind a
+// multi-second growth return ctx.Err immediately instead of pinning a
+// goroutine for the growth's duration. Readers never take it.
+type entry struct {
+	ready   chan struct{} // closed once art/err are set
+	err     error
+	lastUse int64
+
+	evals *core.EvaluatorPool // shared by all snapshots; capacity only grows
+	grow  chan struct{}
+	art   atomic.Pointer[Artifact]
+}
+
+func newEntry(lastUse int64) *entry {
+	return &entry{ready: make(chan struct{}), grow: make(chan struct{}, 1), lastUse: lastUse}
+}
 
 // Registry is the prepared-artifact cache at the heart of the service:
 // per-piece layouts keyed by topic-vector hash (graph.LayoutCache) and
-// prepared core.Instances keyed by (campaign, theta, seed) with LRU
-// eviction. Concurrent requests for the same missing instance are
-// de-duplicated: exactly one goroutine runs core.PrepareLayouts, the
-// rest wait on the entry (observable as singleflight_waits vs prepares
-// in the metrics).
+// θ-monotone sampling entries keyed by (campaign, seed) with LRU
+// eviction. Concurrent requests for the same missing entry are
+// de-duplicated (exactly one goroutine runs core.PrepareLayouts, the
+// rest wait — observable as singleflight_waits vs prepares in the
+// metrics); requests for a θ the entry has not reached yet take the
+// entry's growth lock and extend the shared collection in place, while
+// smaller-θ requests are served immediately from a prefix of the
+// current snapshot.
 type Registry struct {
 	g        *graph.Graph
 	pool     []int32
@@ -80,7 +168,7 @@ type Registry struct {
 	capacity int
 
 	mu      sync.Mutex
-	entries map[instanceKey]*prepared
+	entries map[instanceKey]*entry
 	clock   int64
 
 	m *metrics
@@ -93,7 +181,7 @@ func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, 
 		model:    model,
 		layouts:  graph.NewLayoutCache(g, layoutCap),
 		capacity: instanceCap,
-		entries:  make(map[instanceKey]*prepared),
+		entries:  make(map[instanceKey]*entry),
 		m:        m,
 	}
 }
@@ -102,60 +190,170 @@ func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, 
 // straight off cached layouts without preparing an instance).
 func (r *Registry) Layouts() *graph.LayoutCache { return r.layouts }
 
-// Instance returns the prepared artifact for (campaign, theta, seed),
-// preparing it at most once per cache residency, plus a flag reporting
-// whether the artifact was already present (a cache hit, including
-// joining an in-flight preparation). The returned entry is shared:
-// callers must treat inst as immutable and go through the entry's
-// evaluator/estimator pools for any scratch-carrying operation.
-func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (*prepared, bool, error) {
+// Instance returns an artifact serving (campaign, theta, seed) and how
+// it was obtained: a fresh preparation (miss), the current snapshot
+// (exact hit or θ-prefix), or a snapshot grown to theta. The returned
+// artifact is shared and immutable; callers go through its evaluator
+// and estimator pools for scratch-carrying operations, and bound their
+// reads with InstanceAt / EstimateAUPrefix at the requested θ.
+func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
 	if err := campaign.Validate(r.g.Z()); err != nil {
-		return nil, false, fmt.Errorf("serve: campaign: %w", err)
+		return nil, OutcomeMiss, fmt.Errorf("serve: campaign: %w", err)
 	}
 	if theta <= 0 {
-		return nil, false, fmt.Errorf("serve: non-positive theta %d", theta)
+		return nil, OutcomeMiss, fmt.Errorf("serve: non-positive theta %d", theta)
 	}
-	key := instanceKey{campaign: campaignKey(campaign), theta: theta, seed: seed}
+	// An already-canceled request must not pay (or trigger) a
+	// multi-second build; bail before touching the cache.
+	if err := ctx.Err(); err != nil {
+		return nil, OutcomeMiss, err
+	}
+	key := instanceKey{campaign: campaignKey(campaign), seed: seed}
 
 	r.mu.Lock()
-	if e, ok := r.entries[key]; ok {
+	e, ok := r.entries[key]
+	if !ok {
+		r.m.instanceMisses.Add(1)
 		r.clock++
-		e.lastUse = r.clock
-		select {
-		case <-e.ready:
-			r.m.instanceHits.Add(1)
-		default:
-			r.m.singleflightWaits.Add(1)
-		}
+		e = newEntry(r.clock)
+		r.entries[key] = e
+		r.evictLocked()
 		r.mu.Unlock()
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
-		}
-		return e, true, e.err
+		return r.prepareEntry(ctx, e, key, campaign, theta, seed)
 	}
-	r.m.instanceMisses.Add(1)
 	r.clock++
-	e := &prepared{ready: make(chan struct{}), lastUse: r.clock}
-	r.entries[key] = e
-	r.evictLocked()
-	r.mu.Unlock()
-
-	e.inst, e.err = r.prepare(campaign, theta, seed)
-	if e.err == nil {
-		e.evals = core.NewEvaluatorPool(e.inst)
+	e.lastUse = r.clock
+	select {
+	case <-e.ready:
+	default:
+		// Counts requests that waited on another's preparation —
+		// independent of the hit/prefix/extend classification below,
+		// since with θ out of the key a joiner may be requesting a
+		// different θ than the preparing owner.
+		r.m.singleflightWaits.Add(1)
 	}
-	close(e.ready)
+	r.mu.Unlock()
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, OutcomeHit, ctx.Err()
+	}
 	if e.err != nil {
-		// Do not cache failures; let a corrected request retry.
+		if errors.Is(e.err, errPrepareAborted) {
+			// The owning request was canceled before it built anything.
+			// That cancellation is the owner's, not ours: the aborted
+			// entry is already gone from the map, so retry as a fresh
+			// miss instead of surfacing someone else's ctx error.
+			return r.Instance(ctx, campaign, theta, seed)
+		}
+		return nil, OutcomeHit, e.err
+	}
+	return r.serveEntry(ctx, e, theta)
+}
+
+// errPrepareAborted closes an entry whose owning request was canceled
+// before the preparation ran. It is never returned to callers: the owner
+// reports its own ctx error, and waiters retry.
+var errPrepareAborted = errors.New("serve: preparation aborted by a canceled request")
+
+// prepareEntry runs the initial preparation for a freshly inserted
+// entry. The owner honors cancellation before the expensive build;
+// failures (including cancellation) close the entry with the error and
+// drop it from the map, so waiters fail fast and nothing half-built is
+// cached — a corrected request simply retries.
+func (r *Registry) prepareEntry(ctx context.Context, e *entry, key instanceKey, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+	fail := func(entryErr, err error) (*Artifact, Outcome, error) {
+		// Drop the entry from the map BEFORE closing ready: a waiter that
+		// wakes on errPrepareAborted retries immediately, and must find
+		// the slot empty (fresh miss), not this dead entry again.
 		r.mu.Lock()
 		if cur, ok := r.entries[key]; ok && cur == e {
 			delete(r.entries, key)
 		}
 		r.mu.Unlock()
+		e.err = entryErr
+		close(e.ready)
+		return nil, OutcomeMiss, err
 	}
-	return e, false, e.err
+	if err := ctx.Err(); err != nil {
+		// Waiters get the retriable sentinel, not this request's ctx
+		// error — their own contexts may be perfectly healthy.
+		return fail(errPrepareAborted, err)
+	}
+	inst, err := r.prepare(campaign, theta, seed)
+	if err != nil {
+		return fail(err, err)
+	}
+	e.evals = core.NewEvaluatorPool(inst)
+	art := &Artifact{theta: theta, inst: inst, evals: e.evals}
+	e.art.Store(art)
+	close(e.ready)
+	return art, OutcomeMiss, nil
+}
+
+// serveEntry resolves a request against a ready entry: serve the current
+// snapshot (exact or as a θ-prefix), or grow it.
+func (r *Registry) serveEntry(ctx context.Context, e *entry, theta int) (*Artifact, Outcome, error) {
+	if a, outcome, ok := serveSnapshot(e.art.Load(), theta); ok {
+		r.countServe(outcome)
+		return a, outcome, nil
+	}
+
+	// Growth path: serialize so N concurrent (or sequential) ascending-θ
+	// requests run exactly one ExtendTo per growth step — never a full
+	// re-sample, never a duplicate extension. Acquisition is ctx-aware:
+	// a request canceled while queued behind an in-flight growth returns
+	// right away.
+	select {
+	case e.grow <- struct{}{}:
+	case <-ctx.Done():
+		return nil, OutcomeExtend, ctx.Err()
+	}
+	defer func() { <-e.grow }()
+	if a, outcome, ok := serveSnapshot(e.art.Load(), theta); ok {
+		// Another request grew past us while we waited for the lock.
+		r.countServe(outcome)
+		return a, outcome, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, OutcomeExtend, err
+	}
+	a := e.art.Load()
+	inst, err := a.inst.ExtendTo(theta)
+	if err != nil {
+		// The old snapshot is untouched and stays published; a later
+		// request may retry the growth.
+		return nil, OutcomeExtend, err
+	}
+	r.m.extends.Add(1)
+	e.evals.EnsureTheta(theta)
+	na := &Artifact{theta: theta, inst: inst, evals: e.evals}
+	e.art.Store(na)
+	return na, OutcomeExtend, nil
+}
+
+// serveSnapshot classifies a request against one published snapshot:
+// exact hit, θ-prefix, or (ok=false) in need of growth.
+func serveSnapshot(a *Artifact, theta int) (*Artifact, Outcome, bool) {
+	switch {
+	case theta == a.theta:
+		return a, OutcomeHit, true
+	case theta < a.theta:
+		return a, OutcomePrefix, true
+	}
+	return nil, OutcomeExtend, false
+}
+
+// countServe classifies every request served off an existing snapshot;
+// together with prepares (misses) and extends these counters partition
+// the successful request stream.
+func (r *Registry) countServe(outcome Outcome) {
+	switch outcome {
+	case OutcomeHit:
+		r.m.instanceHits.Add(1)
+	case OutcomePrefix:
+		r.m.prefixHits.Add(1)
+	}
 }
 
 // prepare materializes the artifact: layouts through the shared layout
@@ -184,7 +382,9 @@ func (r *Registry) prepare(campaign topic.Campaign, theta int, seed uint64) (*co
 
 // evictLocked drops least-recently-used completed entries until the
 // count is back within capacity; in-flight preparations are never
-// evicted (waiters hold them).
+// evicted (waiters hold them). An entry evicted while one request is
+// still growing it is harmless: the growth completes on the orphaned
+// entry and the next request re-prepares.
 func (r *Registry) evictLocked() {
 	if r.capacity <= 0 {
 		return
@@ -192,7 +392,7 @@ func (r *Registry) evictLocked() {
 	for len(r.entries) > r.capacity {
 		var (
 			oldKey instanceKey
-			oldest *prepared
+			oldest *entry
 		)
 		for k, e := range r.entries {
 			select {
@@ -212,7 +412,7 @@ func (r *Registry) evictLocked() {
 	}
 }
 
-// Len returns the number of cached (or in-flight) instances.
+// Len returns the number of cached (or in-flight) entries.
 func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -352,12 +352,98 @@ func TestConcurrentSolveSingleflight(t *testing.T) {
 	if snap.Registry.Prepares != 1 {
 		t.Fatalf("%d concurrent identical solves ran %d Prepares, want exactly 1", concurrent, snap.Registry.Prepares)
 	}
-	if joined := snap.Registry.InstanceHits + snap.Registry.SingleflightWaits; joined != concurrent-1 {
-		t.Fatalf("hits (%d) + singleflight waits (%d) = %d, want %d",
-			snap.Registry.InstanceHits, snap.Registry.SingleflightWaits, joined, concurrent-1)
+	// Every non-miss request classifies as an exact-θ hit; the waits
+	// counter independently records how many of them queued behind the
+	// in-flight preparation (timing-dependent, at most all of them).
+	if snap.Registry.InstanceHits != concurrent-1 {
+		t.Fatalf("instance hits = %d, want %d", snap.Registry.InstanceHits, concurrent-1)
+	}
+	if w := snap.Registry.SingleflightWaits; w < 0 || w > concurrent-1 {
+		t.Fatalf("singleflight waits = %d, want within [0, %d]", w, concurrent-1)
 	}
 	if snap.Registry.InstanceMisses != 1 {
 		t.Fatalf("instance misses = %d, want 1", snap.Registry.InstanceMisses)
+	}
+}
+
+// TestSolveAscendingThetaOverHTTP walks the θ-monotone surface end to
+// end: ascending-θ solves over one campaign run one prepare plus one
+// extend per growth step, a subsequent smaller-θ solve is a prefix hit,
+// and every response matches a fresh same-θ server bit for bit.
+func TestSolveAscendingThetaOverHTTP(t *testing.T) {
+	s := testServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	camp := testCampaign(0, 1)
+	solve := func(theta int) SolveResponse {
+		t.Helper()
+		var out SolveResponse
+		code, raw := postJSON(t, ts, "/v1/solve", SolveRequest{Campaign: camp, K: 3, Theta: theta}, &out)
+		if code != http.StatusOK {
+			t.Fatalf("theta %d: status %d: %s", theta, code, raw)
+		}
+		return out
+	}
+
+	first := solve(300)
+	if first.CacheHit || first.Extended || first.PrefixHit || first.PreparedTheta != 300 {
+		t.Fatalf("first solve flags: %+v", first)
+	}
+	second := solve(600)
+	if !second.Extended || second.CacheHit || second.PreparedTheta != 600 {
+		t.Fatalf("ascending solve flags: %+v", second)
+	}
+	if second.SampleMS <= 0 {
+		t.Fatalf("extended solve reported no sampling time: %v", second.SampleMS)
+	}
+	third := solve(1200)
+	if !third.Extended || third.PreparedTheta != 1200 {
+		t.Fatalf("second ascending solve flags: %+v", third)
+	}
+	prefix := solve(300)
+	if !prefix.PrefixHit || !prefix.CacheHit || prefix.SampleMS != 0 || prefix.PreparedTheta != 1200 {
+		t.Fatalf("prefix solve flags: %+v", prefix)
+	}
+	// The prefix result is bit-identical to the initial 300-sample solve.
+	if prefix.Utility != first.Utility || prefix.Upper != first.Upper {
+		t.Fatalf("prefix solve (%v, %v) != initial solve (%v, %v)",
+			prefix.Utility, prefix.Upper, first.Utility, first.Upper)
+	}
+
+	snap := s.Metrics()
+	if snap.Registry.Prepares != 1 {
+		t.Fatalf("prepares = %d, want 1", snap.Registry.Prepares)
+	}
+	if snap.Registry.Extends != 2 {
+		t.Fatalf("extends = %d, want 2", snap.Registry.Extends)
+	}
+	if snap.Registry.PrefixHits != 1 {
+		t.Fatalf("prefix hits = %d, want 1", snap.Registry.PrefixHits)
+	}
+	if snap.Registry.Instances != 1 {
+		t.Fatalf("instances = %d, want 1 (one θ-monotone entry)", snap.Registry.Instances)
+	}
+
+	// The grown-θ result matches a fresh server prepared at that θ.
+	s2 := testServer(t, nil)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var fresh SolveResponse
+	if code, raw := postJSON(t, ts2, "/v1/solve", SolveRequest{Campaign: camp, K: 3, Theta: 1200}, &fresh); code != http.StatusOK {
+		t.Fatalf("fresh solve status %d: %s", code, raw)
+	}
+	if fresh.Utility != third.Utility || fresh.Upper != third.Upper {
+		t.Fatalf("grown solve (%v, %v) != fresh solve (%v, %v)",
+			third.Utility, third.Upper, fresh.Utility, fresh.Upper)
+	}
+
+	// Estimates ride the same entry: a θ between snapshots is a prefix.
+	var est EstimateResponse
+	if code, raw := postJSON(t, ts, "/v1/estimate", EstimateRequest{Campaign: camp, Plan: third.Plan, Theta: 700}, &est); code != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", code, raw)
+	}
+	if !est.PrefixHit || est.PreparedTheta != 1200 || est.Theta != 700 {
+		t.Fatalf("estimate flags: %+v", est)
 	}
 }
 

@@ -8,10 +8,18 @@
 //
 //   - graph.PieceLayouts cached by topic-vector hash (campaigns that
 //     share pieces share layouts);
-//   - prepared core.Instances (MRR samples + pool index + bound table)
-//     cached by (campaign, theta, seed) with LRU eviction and
-//     singleflight de-duplication of concurrent identical preparations;
-//   - per-instance core.EvaluatorPools and rrset.AUEstimator pools so
+//   - θ-monotone prepared artifacts (MRR samples + pool index + bound
+//     table) cached by (campaign, seed) with LRU eviction and
+//     singleflight de-duplication of concurrent identical preparations.
+//     θ is the accuracy dial, not a cache key: a request with θ at or
+//     below the prepared sample count is served from a θ-prefix view of
+//     the cached artifact (bit-identical to a fresh θ-sized
+//     preparation, zero sampling work), while a larger θ grows the
+//     shared collection in place (one incremental sampling pass plus a
+//     re-index, serialized per entry) and republishes an immutable
+//     snapshot — in-flight readers of older snapshots are never
+//     invalidated;
+//   - per-entry core.EvaluatorPools and rrset.AUEstimator pools so
 //     concurrent requests reuse solver scratch without data races — the
 //     MRR views, indexes and layouts they read are immutable and shared.
 //
@@ -195,9 +203,17 @@ type SolveResponse struct {
 	Theta    int              `json:"theta"`
 	K        int              `json:"k"`
 	SolveMS  float64          `json:"solve_ms"`
-	SampleMS float64          `json:"sample_ms"` // 0 when the instance was cached
+	SampleMS float64          `json:"sample_ms"` // 0 when no sampling ran (hit / prefix)
 	Stats    core.SolverStats `json:"stats"`
-	CacheHit bool             `json:"cache_hit"` // prepared artifact came from cache
+	CacheHit bool             `json:"cache_hit"` // served without sampling work
+	// PrefixHit: served as a θ-prefix of a larger cached artifact.
+	PrefixHit bool `json:"prefix_hit,omitempty"`
+	// Extended: this request grew the cached artifact to its θ (one
+	// incremental sampling pass; SampleMS covers only the growth step).
+	Extended bool `json:"extended,omitempty"`
+	// PreparedTheta: the sample count of the backing artifact (>= Theta
+	// when served from a prefix).
+	PreparedTheta int `json:"prepared_theta,omitempty"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate: MRR-estimate the
@@ -213,9 +229,12 @@ type EstimateRequest struct {
 
 // EstimateResponse is the body of a completed estimate.
 type EstimateResponse struct {
-	Utility  float64 `json:"utility"`
-	Theta    int     `json:"theta"`
-	CacheHit bool    `json:"cache_hit"`
+	Utility       float64 `json:"utility"`
+	Theta         int     `json:"theta"`
+	CacheHit      bool    `json:"cache_hit"`
+	PrefixHit     bool    `json:"prefix_hit,omitempty"`
+	Extended      bool    `json:"extended,omitempty"`
+	PreparedTheta int     `json:"prepared_theta,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: forward Monte-Carlo
@@ -300,22 +319,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	entry, hit, err := s.reg.Instance(r.Context(), req.Campaign, req.Theta, req.Seed)
+	art, outcome, err := s.reg.Instance(r.Context(), req.Campaign, req.Theta, req.Seed)
 	if err != nil {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	est := entry.estimator()
-	util, err := est.EstimateAU(req.Plan, model)
-	entry.putEstimator(est)
+	est := art.estimator()
+	util, err := est.EstimateAUPrefix(req.Plan, model, req.Theta)
+	art.putEstimator(est)
 	if err != nil {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Utility:  util,
-		Theta:    req.Theta,
-		CacheHit: hit,
+		Utility:       util,
+		Theta:         req.Theta,
+		CacheHit:      outcome.CacheHit(),
+		PrefixHit:     outcome == OutcomePrefix,
+		Extended:      outcome == OutcomeExtend,
+		PreparedTheta: art.Theta(),
 	})
 }
 
@@ -441,14 +463,18 @@ func (s *Server) model(alpha, beta float64) (logistic.Model, error) {
 
 // solve runs one normalized solve request against the registry. stop is
 // wired into the branch-and-bound search (request cancellation / job
-// cancellation); ctx bounds the registry wait.
+// cancellation); ctx bounds the registry wait and the growth path.
 func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct{}) (*SolveResponse, error) {
-	entry, cacheHit, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
+	art, outcome, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
 	if err != nil {
 		return nil, err
 	}
 
-	inst, err := entry.inst.WithK(req.K)
+	base, err := art.InstanceAt(req.Theta)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := base.WithK(req.K)
 	if err != nil {
 		return nil, err
 	}
@@ -476,11 +502,11 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	var res *core.Result
 	switch req.Method {
 	case "bab":
-		res, err = entry.evals.SolveBAB(inst, opts)
+		res, err = art.evals.SolveBAB(inst, opts)
 	case "babp":
-		res, err = entry.evals.SolveBABP(inst, opts)
+		res, err = art.evals.SolveBABP(inst, opts)
 	case "greedy":
-		res, err = entry.evals.SolveGreedy(inst, opts)
+		res, err = art.evals.SolveGreedy(inst, opts)
 	case "im":
 		res, err = core.SolveIM(inst, req.Seed+1)
 	case "tim":
@@ -496,21 +522,25 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		pieces[j] = p.Name
 	}
 	sampleMS := 0.0
-	if !cacheHit {
-		sampleMS = float64(entry.inst.SampleTime) / float64(time.Millisecond)
+	if !outcome.CacheHit() {
+		// Miss: the full preparation; extend: only the growth step.
+		sampleMS = float64(art.Instance().SampleTime) / float64(time.Millisecond)
 	}
 	return &SolveResponse{
-		Method:   res.Method,
-		Utility:  res.Utility,
-		Upper:    res.Upper,
-		Plan:     res.Plan.Seeds,
-		Pieces:   pieces,
-		Theta:    req.Theta,
-		K:        req.K,
-		SolveMS:  float64(res.Elapsed) / float64(time.Millisecond),
-		SampleMS: sampleMS,
-		Stats:    res.Stats,
-		CacheHit: cacheHit,
+		Method:        res.Method,
+		Utility:       res.Utility,
+		Upper:         res.Upper,
+		Plan:          res.Plan.Seeds,
+		Pieces:        pieces,
+		Theta:         req.Theta,
+		K:             req.K,
+		SolveMS:       float64(res.Elapsed) / float64(time.Millisecond),
+		SampleMS:      sampleMS,
+		Stats:         res.Stats,
+		CacheHit:      outcome.CacheHit(),
+		PrefixHit:     outcome == OutcomePrefix,
+		Extended:      outcome == OutcomeExtend,
+		PreparedTheta: art.Theta(),
 	}, nil
 }
 
