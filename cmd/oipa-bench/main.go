@@ -38,22 +38,31 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// thetaStep is one request of the ascending-θ economics walk.
+// thetaStep is one request of the ascending-θ economics walk. SampleMS
+// and IndexMS split the artifact work behind the request: the sampling
+// delta and the inverted-index delta (Index.ExtendFrom appends only the
+// new samples, so IndexMS scales with Δθ, not θ). Both are 0 for
+// hit/prefix outcomes.
 type thetaStep struct {
-	Theta   int     `json:"theta"`
-	Outcome string  `json:"outcome"` // miss | extend | prefix | hit
-	MS      float64 `json:"ms"`      // registry Instance wall time
+	Theta    int     `json:"theta"`
+	Outcome  string  `json:"outcome"` // miss | extend | prefix | hit
+	MS       float64 `json:"ms"`      // registry Instance wall time
+	SampleMS float64 `json:"sample_ms"`
+	IndexMS  float64 `json:"index_ms"`
 }
 
 // thetaAscend pins the θ-monotone registry economics: N ascending-θ
 // requests over one campaign must run exactly one preparation plus one
 // ExtendTo per growth step — never a full re-sample — and a smaller-θ
-// request afterwards must be a (near-free) prefix hit.
+// request afterwards must be a (near-free) prefix hit. IndexExtendNS is
+// the cumulative index-delta time across the growth steps (the
+// index_extend_ns serve metric).
 type thetaAscend struct {
-	Steps      []thetaStep `json:"steps"`
-	Prepares   int64       `json:"prepares"`
-	Extends    int64       `json:"extends"`
-	PrefixHits int64       `json:"prefix_hits"`
+	Steps         []thetaStep `json:"steps"`
+	Prepares      int64       `json:"prepares"`
+	Extends       int64       `json:"extends"`
+	PrefixHits    int64       `json:"prefix_hits"`
+	IndexExtendNS int64       `json:"index_extend_ns"`
 }
 
 // report is the BENCH_serve.json schema.
@@ -220,21 +229,30 @@ func main() {
 	ascend := &thetaAscend{}
 	for _, th := range []int{*theta / 4, *theta / 2, *theta, *theta / 4} {
 		start := time.Now()
-		_, outcome, err := reg.Instance(ctx, campaign, th, 1)
+		art, outcome, err := reg.Instance(ctx, campaign, th, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ascend.Steps = append(ascend.Steps, thetaStep{
+		step := thetaStep{
 			Theta:   th,
 			Outcome: outcome.String(),
 			MS:      float64(time.Since(start)) / float64(time.Millisecond),
-		})
-		log.Printf("theta_ascend: theta=%-8d %-7s %8.1f ms", th, outcome, float64(time.Since(start))/float64(time.Millisecond))
+		}
+		if !outcome.CacheHit() {
+			// Miss: the full sampling + index build; extend: only the
+			// growth step's deltas.
+			step.SampleMS = float64(art.Instance().SampleTime) / float64(time.Millisecond)
+			step.IndexMS = float64(art.Instance().IndexTime) / float64(time.Millisecond)
+		}
+		ascend.Steps = append(ascend.Steps, step)
+		log.Printf("theta_ascend: theta=%-8d %-7s %8.1f ms (sample %.1f, index %.1f)",
+			th, outcome, step.MS, step.SampleMS, step.IndexMS)
 	}
 	snap := srv.Metrics()
 	ascend.Prepares = snap.Registry.Prepares
 	ascend.Extends = snap.Registry.Extends
 	ascend.PrefixHits = snap.Registry.PrefixHits
+	ascend.IndexExtendNS = snap.Registry.IndexExtendNS
 	rep.ThetaAscend = ascend
 
 	run("registry_prefix_hit", func(b *testing.B) {

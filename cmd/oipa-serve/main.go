@@ -45,6 +45,8 @@ func main() {
 		maxTheta  = flag.Int("maxtheta", 2_000_000, "reject requests above this many samples")
 		layouts   = flag.Int("layouts", 128, "piece-layout cache capacity")
 		instances = flag.Int("instances", 8, "prepared-instance cache capacity")
+		memBudget = flag.Int64("mem-budget", 0, "soft resident-bytes budget for prepared artifacts (0 = ungoverned): over budget, cold grown entries are theta-shrunk to their recently requested theta, then fully cold entries are LRU-evicted")
+		memEpoch  = flag.Int("mem-epoch", 64, "memory-governor recency window, in registry requests")
 		workers   = flag.Int("workers", 0, "async solve workers (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "async job backlog bound")
 	)
@@ -69,6 +71,8 @@ func main() {
 		MaxTheta:         *maxTheta,
 		LayoutCapacity:   *layouts,
 		InstanceCapacity: *instances,
+		MemBudget:        *memBudget,
+		MemEpoch:         *memEpoch,
 		Workers:          *workers,
 		QueueDepth:       *queue,
 	})

@@ -183,12 +183,19 @@ type Instance struct {
 	Index   *rrset.Index
 	Bounds  *logistic.BoundTable
 
-	// SampleTime is how long MRR sampling (plus index construction, for
-	// ExtendTo steps) took for THIS instance: the full preparation for a
-	// Prepare'd instance, only the growth step's delta for an ExtendTo
-	// result. The paper reports sampling separately (Table III) and
+	// SampleTime is how long MRR sampling took for THIS instance: the
+	// full sampling pass for a Prepare'd instance, only the growth step's
+	// delta for an ExtendTo result, zero for a ShrinkTo one (no sampling
+	// runs). The paper reports sampling separately (Table III) and
 	// excludes it from solver comparisons.
 	SampleTime time.Duration
+
+	// IndexTime is how long inverted-index work took for THIS instance:
+	// the full BuildIndex for a Prepare'd instance, only the O(Δθ)
+	// ExtendFrom delta for an ExtendTo result, the compaction + exact-fit
+	// rebuild for a ShrinkTo one. The serve layer exports it as the
+	// index_extend_ns metric.
+	IndexTime time.Duration
 }
 
 // maxPieces bounds ℓ: per-sample coverage is tracked in a uint32 bitmask.
@@ -256,10 +263,12 @@ func PrepareLayouts(p *Problem, layouts []*graph.PieceLayout, theta int, seed ui
 		return nil, err
 	}
 	sampleTime := time.Since(start)
+	start = time.Now()
 	ix, err := mrr.BuildIndex(p.Pool)
 	if err != nil {
 		return nil, err
 	}
+	indexTime := time.Since(start)
 	bounds, err := logistic.NewBoundTableMode(p.Model, l, logistic.BoundHull)
 	if err != nil {
 		return nil, err
@@ -271,6 +280,7 @@ func PrepareLayouts(p *Problem, layouts []*graph.PieceLayout, theta int, seed ui
 		Index:      ix,
 		Bounds:     bounds,
 		SampleTime: sampleTime,
+		IndexTime:  indexTime,
 	}, nil
 }
 
@@ -299,12 +309,17 @@ func (in *Instance) Prefix(theta int) (*Instance, error) {
 }
 
 // ExtendTo grows the backing MRR collection in place to at least theta
-// samples and returns a new instance whose index is rebuilt over the
-// grown view. The receiver — and any previously returned instance,
-// prefix, or estimator over their views — stays valid and bit-identical:
-// views are frozen snapshots and shard arenas are append-only. The
-// returned instance's SampleTime covers only this growth step (the
-// incremental sampling plus the re-index).
+// samples and returns a new instance whose index covers the grown view.
+// Both halves of the growth step are incremental: sampling appends only
+// the missing samples into the existing shards, and the index is
+// extended with Index.ExtendFrom — only samples [oldθ, newθ) are
+// appended to each inverted list, so the index delta is O(Δθ), not a
+// full O(θ) rebuild. The receiver — and any previously returned
+// instance, prefix, or estimator over their views — stays valid and
+// bit-identical: views are frozen snapshots, and both shard arenas and
+// inverted lists are append-only past every published length. The
+// returned instance's SampleTime covers this step's sampling delta and
+// its IndexTime the index delta.
 //
 // ExtendTo must not run concurrently with itself or with other mutators
 // of the same collection (the serve registry serializes growth behind a
@@ -318,14 +333,65 @@ func (in *Instance) ExtendTo(theta int) (*Instance, error) {
 	if err := in.MRR.ExtendTo(theta); err != nil {
 		return nil, err
 	}
-	ix, err := in.MRR.BuildIndex(in.Problem.Pool)
+	sampleTime := time.Since(start)
+	start = time.Now()
+	ix, err := in.Index.ExtendFrom(in.MRR)
+	if err != nil {
+		// A θ-prefix instance's index aliases a larger index's list
+		// storage and refuses to append; rebuild from scratch for it.
+		// Full instances — the only kind the serve registry grows — stay
+		// on the delta path.
+		if ix, err = in.MRR.BuildIndex(in.Problem.Pool); err != nil {
+			return nil, err
+		}
+	}
+	out := *in
+	out.Index = ix
+	out.SampleTime = sampleTime
+	out.IndexTime = time.Since(start)
+	return &out, nil
+}
+
+// ShrinkTo re-materializes the first theta samples as an instance with
+// owned, compact storage: the MRR samples are copied into a single
+// exact-fit shard (seed and layouts retained, so a later ExtendTo
+// regrows the identical samples) and the index is rebuilt tight over
+// them. Solver results are bit-identical to an instance freshly prepared
+// at theta with the same seed. Unlike Prefix — an O(1) view that keeps
+// the full collection reachable — ShrinkTo is an O(θ-prefix) copy after
+// which the receiver's (larger) storage can actually be released; the
+// serve registry's memory governor uses it to decay cold grown entries.
+// The receiver is untouched. theta must lie in [1, Theta()]; SampleTime
+// is zero (no sampling runs) and IndexTime covers the compaction and
+// rebuild.
+func (in *Instance) ShrinkTo(theta int) (*Instance, error) {
+	if theta <= 0 || theta > in.Theta() {
+		return nil, fmt.Errorf("core: shrink theta %d outside [1, %d]", theta, in.Theta())
+	}
+	start := time.Now()
+	mrr, err := in.MRR.ShrinkTo(theta)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := mrr.BuildIndex(in.Problem.Pool)
 	if err != nil {
 		return nil, err
 	}
 	out := *in
+	out.MRR = mrr
 	out.Index = ix
-	out.SampleTime = time.Since(start)
+	out.SampleTime = 0
+	out.IndexTime = time.Since(start)
 	return &out, nil
+}
+
+// MemUsage approximates the instance's owned resident bytes: the MRR
+// sample storage plus the inverted index. Piece layouts are excluded —
+// they are shared through the layout cache and outlive any one instance
+// — as is the (tiny) bound table. The serve registry budgets artifact
+// residency against this figure.
+func (in *Instance) MemUsage() int64 {
+	return in.MRR.MemUsage() + in.Index.MemUsage()
 }
 
 // WithK returns a shallow copy of the instance with a different budget.

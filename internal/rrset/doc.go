@@ -51,13 +51,29 @@
 //
 // The MRR sampling blocks also fuse a counting pass into sampling: each
 // shard tracks how many of its samples' piece-j sets contain each node,
-// so BuildIndex can size its inverted CSR from shard-local counts
+// so BuildIndex can size its inverted lists from shard-local counts
 // instead of re-walking every set (see index.go). The count arrays cost
 // O(shards·ℓ·n) resident memory, so they are only maintained when that
 // is small next to the sample data itself (n·workers ≤ θ, decided at
 // the first sampling run); past the threshold — and for collections
 // loaded from storage — BuildIndex falls back to the counting walk,
-// which emits an identical CSR.
+// which emits identical lists.
+//
+// # Artifact lifecycle: grow, shrink
+//
+// Collections and their indexes grow incrementally and shed memory
+// incrementally. ExtendTo appends samples [oldθ, newθ) into the existing
+// shards, and Index.ExtendFrom appends only those samples to each
+// inverted list — sample ids are strictly ascending, so a growth step's
+// index work is O(Δθ · avg-set-size), not a full O(θ) rebuild (the
+// pre-delta engine rebuilt the exact-fit CSR on every growth step).
+// ShrinkTo runs the other direction: it re-materializes a θ-prefix as an
+// owned, compact collection (single exact-fit shard, seed and layouts
+// retained so it can regrow the identical samples), which is what lets a
+// long-running service bound the memory a grown artifact pins. MemUsage
+// on collections, views and indexes reports the resident bytes these
+// transitions move, and the serve-layer memory governor steers shrinks
+// and evictions by it.
 //
 // # Determinism contract
 //

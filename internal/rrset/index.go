@@ -11,7 +11,14 @@ import (
 // Index is the inverted view of an MRRCollection restricted to a promoter
 // pool: for every (piece j, promoter v) it lists the samples i whose RR
 // set R_i^j contains v. The branch-and-bound solvers spend nearly all
-// their time walking these lists, so they are stored as one CSR block.
+// their time walking these lists.
+//
+// Lists are stored per (piece, pool position) slot with amortized
+// capacity, not as one exact-fit CSR: BuildIndex carves the slots out of
+// a single arena (so a fresh index is as compact as the old CSR was),
+// and ExtendFrom appends only the new samples to each slot — sample ids
+// are strictly ascending across growth steps, so a growth step costs
+// O(Δθ · avg-set-size), never a full O(θ) re-index.
 //
 // An Index is built over an immutable MRRView snapshot, so it stays
 // consistent even if the source collection keeps growing afterwards.
@@ -19,35 +26,40 @@ import (
 // Pool positions (dense indices into the pool slice) identify promoters
 // throughout the solver hot paths; PoolPos translates node ids.
 //
-// Prefix derives a θ-bounded index sharing this CSR: its inverted lists
-// stop at sample θ, and its MRR() view reports θ samples, so every
-// consumer — solvers, estimators — transparently computes the same
-// result it would over an index freshly built at θ.
+// Prefix derives a θ-bounded index sharing this index's list storage: its
+// inverted lists stop at sample θ, and its MRR() view reports θ samples,
+// so every consumer — solvers, estimators — transparently computes the
+// same result it would over an index freshly built at θ.
 type Index struct {
 	mrr  *MRRView
 	pool []int32
 	pos  []int32 // node id -> pool position, -1 if not in pool
 
-	// CSR over (piece, pool position): lists of sample indices.
-	off     []int64
-	samples []int32
+	// lists[j*len(pool)+p] holds the ascending sample ids whose piece-j
+	// RR set contains the promoter at pool position p.
+	lists [][]int32
 
 	// limit bounds the sample indices Samples/Degree expose: entries
 	// >= limit (present when this is a Prefix of a larger index) are cut
 	// off. For a full index limit equals the view's θ, so the bound never
 	// fires.
 	limit int32
+
+	// shared marks indexes that alias another index's list storage
+	// (Prefix derivatives). A shared index must never append — its lists
+	// already contain the larger index's tail — so ExtendFrom refuses.
+	shared bool
 }
 
 // BuildIndex inverts the collection over the given promoter pool. The
 // pool must be non-empty and duplicate-free.
 //
-// The CSR is sized directly from the shard-local membership counts the
+// The lists are sized directly from the shard-local membership counts the
 // sampling blocks maintain — for sampled collections the classic
 // counting walk over every RR set is skipped entirely, leaving one fill
 // pass (parallel over pieces). Collections loaded from storage carry no
-// counts and fall back to the counting walk; both paths emit an
-// identical CSR (pinned by the BuildIndex golden test).
+// counts and fall back to the counting walk; both paths emit identical
+// lists (pinned by the BuildIndex golden test).
 func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("rrset: empty promoter pool")
@@ -105,8 +117,8 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 	for i := 1; i < len(counts); i++ {
 		counts[i] += counts[i-1]
 	}
-	ix.off = counts
-	ix.samples = make([]int32, ix.off[len(ix.off)-1])
+	off := counts
+	arena := make([]int32, off[len(off)-1])
 
 	// Fill pass, parallel over pieces: piece j's slots [j·pp, (j+1)·pp)
 	// are disjoint from every other piece's, and within a slot samples
@@ -122,7 +134,7 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 				for _, u := range v.Set(i, j) {
 					if p := ix.pos[u]; p >= 0 {
 						slot := j*pp + int(p)
-						ix.samples[ix.off[slot]+cursor[slot]] = int32(i)
+						arena[off[slot]+cursor[slot]] = int32(i)
 						cursor[slot]++
 					}
 				}
@@ -130,7 +142,71 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 		}(j)
 	}
 	wg.Wait()
+
+	// Carve the arena into per-slot lists. Capacity is capped at each
+	// slot's exact length, so a first ExtendFrom reallocates the slots it
+	// touches (amortized-doubling afterwards) instead of scribbling over
+	// a neighbor's samples.
+	ix.lists = make([][]int32, l*pp)
+	for slot := range ix.lists {
+		ix.lists[slot] = arena[off[slot]:off[slot+1]:off[slot+1]]
+	}
 	return ix, nil
+}
+
+// ExtendFrom returns an index over m's current samples by appending only
+// the delta — samples [oldθ, newθ), where oldθ is this index's sample
+// count — to each (piece, promoter) list: growth cost is proportional to
+// the new samples' total RR size, never to the full θ (the old exact-fit
+// CSR forced a complete rebuild per growth step). Sample ids are strictly
+// ascending across growth steps, so every list stays sorted and the
+// result is bit-identical to a fresh BuildIndex at newθ (pinned by golden
+// tests).
+//
+// m must be the collection the index was built over, grown in place by
+// ExtendTo. The receiver stays valid and frozen at its θ: list storage is
+// shared where capacity allows (appends land beyond the receiver's list
+// lengths, which its readers never touch), and reallocated where it does
+// not. ExtendFrom must not run concurrently with itself or other
+// mutators of the same index lineage — the serve registry serializes
+// growth behind a per-entry lock — but concurrent readers of the
+// receiver (and of its Prefix derivatives) are safe. Prefix-derived
+// indexes refuse to extend: their lists alias a larger index's storage
+// and already contain the tail.
+func (ix *Index) ExtendFrom(m *MRRCollection) (*Index, error) {
+	if ix.shared {
+		return nil, fmt.Errorf("rrset: cannot extend a prefix index; extend the full index it derives from")
+	}
+	v := m.View()
+	if v.g != ix.mrr.g || v.l != ix.mrr.l {
+		return nil, fmt.Errorf("rrset: collection does not match the indexed one")
+	}
+	oldTheta, newTheta := ix.mrr.Theta(), v.Theta()
+	if newTheta < oldTheta {
+		return nil, fmt.Errorf("rrset: collection theta %d below index theta %d", newTheta, oldTheta)
+	}
+	if newTheta == oldTheta {
+		return ix, nil
+	}
+	pp := len(ix.pool)
+	lists := append([][]int32(nil), ix.lists...)
+	var wg sync.WaitGroup
+	for j := 0; j < v.l; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for i := oldTheta; i < newTheta; i++ {
+				for _, u := range v.Set(i, j) {
+					if p := ix.pos[u]; p >= 0 {
+						slot := j*pp + int(p)
+						lists[slot] = append(lists[slot], int32(i))
+					}
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	return &Index{mrr: v, pool: ix.pool, pos: ix.pos, lists: lists, limit: int32(newTheta)}, nil
 }
 
 // MRR returns the immutable sample view the index was built over (for a
@@ -138,7 +214,7 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 func (ix *Index) MRR() *MRRView { return ix.mrr }
 
 // Prefix returns an index bounded to the first theta samples, sharing
-// this index's CSR storage: Samples and Degree cut their (ascending)
+// this index's list storage: Samples and Degree cut their (ascending)
 // inverted lists at sample theta, and MRR() is the θ-prefix view, so
 // solver results over the prefix index are bit-identical to an index
 // freshly built over a θ-sample collection (pinned by golden tests).
@@ -153,13 +229,29 @@ func (ix *Index) Prefix(theta int) (*Index, error) {
 		return ix, nil
 	}
 	return &Index{
-		mrr:     v,
-		pool:    ix.pool,
-		pos:     ix.pos,
-		off:     ix.off,
-		samples: ix.samples,
-		limit:   int32(theta),
+		mrr:    v,
+		pool:   ix.pool,
+		pos:    ix.pos,
+		lists:  ix.lists,
+		limit:  int32(theta),
+		shared: true,
 	}, nil
+}
+
+// MemUsage approximates the index's resident bytes: the inverted lists
+// (capacity, not length), the pool translation arrays, and the list
+// headers. It is the serve-layer memory governor's accounting unit. The
+// figure is a lower bound after growth — slots that outgrew the original
+// build arena leave holes in it that are still reachable — and exact for
+// freshly built (or shrink-rematerialized) indexes, whose slots are
+// carved tight. Prefix indexes report the storage they alias.
+func (ix *Index) MemUsage() int64 {
+	b := int64(len(ix.pos))*4 + int64(len(ix.pool))*4
+	b += int64(cap(ix.lists)) * 24 // slice headers
+	for _, l := range ix.lists {
+		b += int64(cap(l)) * 4
+	}
+	return b
 }
 
 // Pool returns the promoter pool (do not modify).
@@ -185,8 +277,7 @@ func (ix *Index) PoolPos(v int32) (int32, bool) {
 // always below the limit, so the fast path returns the whole list with
 // no search at all.
 func (ix *Index) Samples(j int, p int32) []int32 {
-	slot := j*len(ix.pool) + int(p)
-	list := ix.samples[ix.off[slot]:ix.off[slot+1]]
+	list := ix.lists[j*len(ix.pool)+int(p)]
 	if n := len(list); n > 0 && list[n-1] >= ix.limit {
 		list = list[:sort.Search(n, func(i int) bool { return list[i] >= ix.limit })]
 	}
@@ -231,9 +322,14 @@ func (ix *Index) EstimateAU(plan [][]int32, model logistic.Model) (float64, erro
 // EstimateAUWith is EstimateAU over caller-supplied scratch, for hot
 // paths that estimate repeatedly (the branch-and-bound incumbent check
 // runs twice per expanded node): no per-call θ-sized allocations, and
-// the scratch is returned clean for the next call.
+// the scratch is returned clean for the next call. Estimating over an
+// index of an empty collection is an error (there is no sample mean to
+// report), never NaN — the same guard EstimateAUScan applies.
 func (ix *Index) EstimateAUWith(plan [][]int32, model logistic.Model, s *AUScratch) (float64, error) {
 	m := ix.mrr
+	if m.Theta() == 0 {
+		return 0, fmt.Errorf("rrset: estimate over an empty collection")
+	}
 	if len(plan) != m.l {
 		return 0, fmt.Errorf("rrset: plan has %d seed sets for %d pieces", len(plan), m.l)
 	}

@@ -62,9 +62,18 @@ func (c *collCore) TotalSize() int { return c.st.totalSize() }
 // Shards returns the number of shard arenas backing the storage.
 func (c *collCore) Shards() int { return c.st.numShards() }
 
+// MemUsage approximates the collection's resident bytes: shard arenas
+// (at capacity — append-only growth keeps its slack), fused count
+// arrays, the block/run directory, and the roots. Views report the
+// storage they snapshot. The serve-layer memory governor accounts
+// artifacts with it.
+func (c *collCore) MemUsage() int64 { return c.st.memUsage() + int64(cap(c.roots))*4 }
+
 // Coverage returns the number of RR sets intersected by seeds (linear
 // scan; the IM baselines use incremental coverage instead). Seed ids
-// outside the graph never match.
+// outside the graph never match. An empty collection has coverage 0 —
+// the empty-θ guard lives in EstimateSpread, which would otherwise
+// divide by θ.
 func (c *collCore) Coverage(seeds []int32) int {
 	if c.seedMark == nil {
 		c.seedMark = bitset.NewStamp(c.g.N())
@@ -92,7 +101,11 @@ func (c *collCore) Coverage(seeds []int32) int {
 	return covered
 }
 
-// EstimateSpread estimates σ_im(seeds) = n · coverage / θ.
+// EstimateSpread estimates σ_im(seeds) = n · coverage / θ. An empty
+// collection estimates 0, never NaN — the same empty-θ guard
+// EstimateAUScan applies (which errors instead: a spread of zero sets is
+// meaningfully zero, while an adoption-utility sample mean over zero
+// samples does not exist).
 func (c *collCore) EstimateSpread(seeds []int32) float64 {
 	if c.Theta() == 0 {
 		return 0
@@ -221,6 +234,11 @@ func (m *mrrCore) Set(i, j int) []int32 {
 
 // TotalSize returns the summed cardinality of all RR sets.
 func (m *mrrCore) TotalSize() int { return m.st.totalSize() }
+
+// MemUsage approximates the collection's resident bytes: shard arenas
+// (at capacity), fused count arrays, the block/run directory, and the
+// roots. Views report the storage they snapshot.
+func (m *mrrCore) MemUsage() int64 { return m.st.memUsage() + int64(cap(m.roots))*4 }
 
 // Shards returns the number of shard arenas backing the storage.
 func (m *mrrCore) Shards() int { return m.st.numShards() }
@@ -489,6 +507,37 @@ func (m *MRRCollection) ExtendTo(theta int) error {
 	}
 	m.sampleRange(start, theta)
 	return nil
+}
+
+// ShrinkTo re-materializes the first theta samples as a NEW collection
+// with owned, compact storage: sets are copied into a single exact-fit
+// shard, so dropping the receiver actually releases the tail samples and
+// every byte of append slack — the memory-reclaim half of the serve
+// registry's artifact lifecycle (grow → shrink → evict). The receiver is
+// untouched, and views over it stay valid.
+//
+// Because sample i is deterministic in (graph, layouts, seed), the
+// shrunk collection is bit-identical to one freshly sampled to theta —
+// and it keeps the seed and piece layouts, so a later ExtendTo regrows
+// the exact samples that were shed. Fused membership counts are not
+// carried over (they cover the source's full θ), so the next BuildIndex
+// over a shrunk collection takes the counting-walk path. theta must lie
+// in [1, Theta()]; passing Theta() still compacts.
+func (m *MRRCollection) ShrinkTo(theta int) (*MRRCollection, error) {
+	if theta <= 0 || theta > m.Theta() {
+		return nil, fmt.Errorf("rrset: shrink theta %d outside [1, %d]", theta, m.Theta())
+	}
+	return &MRRCollection{
+		mrrCore: mrrCore{
+			g:     m.g,
+			l:     m.l,
+			st:    m.st.compactPrefix(theta),
+			roots: append([]int32(nil), m.roots[:theta]...),
+		},
+		seed:        m.seed,
+		layouts:     m.layouts,
+		rootsPinned: m.rootsPinned,
+	}, nil
 }
 
 // sampleRange samples the sets of roots [start, theta), which must

@@ -174,6 +174,54 @@ func (st *store) set(s int64) []int32 {
 	return sh.nodes[start:sh.offsets[o]]
 }
 
+// compactPrefix returns a store holding the first numSamples samples of
+// st (numSamples·setsPerSample sets, in deterministic order), re-packed
+// into a single shard with exact-fit arenas and a trivial directory: one
+// run whose blocks all point into shard 0 back-to-back. It is the
+// storage half of ShrinkTo — the copy owns its memory, so dropping the
+// source store actually releases the tail samples (and any slack
+// capacity the append-only shards accumulated). Fused membership counts
+// are not carried over: they cover the source's full θ, not the prefix.
+func (st *store) compactPrefix(numSamples int) store {
+	numSets := int64(numSamples) * int64(st.setsPerSample)
+	total := int64(0)
+	for s := int64(0); s < numSets; s++ {
+		total += int64(len(st.set(s)))
+	}
+	sh := shard{nodes: make([]int32, 0, total), offsets: make([]int64, 0, numSets)}
+	for s := int64(0); s < numSets; s++ {
+		sh.nodes = append(sh.nodes, st.set(s)...)
+		sh.closeSet()
+	}
+	spb := int64(sampleBlockSize * st.setsPerSample)
+	numBlocks := (numSets + spb - 1) / spb
+	blocks := make([]blockLoc, numBlocks)
+	for b := range blocks {
+		blocks[b] = blockLoc{shard: 0, off: int64(b) * spb}
+	}
+	return store{
+		shards:        []shard{sh},
+		blocks:        blocks,
+		runs:          []run{{firstSet: 0, blockBase: 0}},
+		setsPerSample: st.setsPerSample,
+		numSets:       numSets,
+	}
+}
+
+// memUsage returns the store's resident bytes: shard arenas (capacity,
+// not length — append-only growth retains its slack), fused count
+// arrays, and the block/run directory.
+func (st *store) memUsage() int64 {
+	b := int64(0)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		b += int64(cap(sh.nodes))*4 + int64(cap(sh.offsets))*8 + int64(cap(sh.counts))*4
+	}
+	b += int64(cap(st.blocks)) * 16 // blockLoc: int32 + int64, padded
+	b += int64(cap(st.runs)) * 16
+	return b
+}
+
 // totalSize returns the summed cardinality of all stored sets.
 func (st *store) totalSize() int {
 	total := 0

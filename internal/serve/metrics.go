@@ -18,12 +18,14 @@ type metrics struct {
 	solveErrors    atomic.Int64
 
 	prepares          atomic.Int64 // core.PrepareLayouts invocations
-	extends           atomic.Int64 // growth steps: Instance.ExtendTo + re-index runs
+	extends           atomic.Int64 // growth steps: delta sampling + Index.ExtendFrom
+	indexExtendNS     atomic.Int64 // cumulative ns spent in per-step index work (IndexTime)
+	shrinks           atomic.Int64 // governor θ-shrinks (Instance.ShrinkTo republishes)
 	instanceHits      atomic.Int64 // exact-θ snapshot served
 	prefixHits        atomic.Int64 // θ-prefix of a larger snapshot served
 	instanceMisses    atomic.Int64
 	singleflightWaits atomic.Int64 // requests that waited on another's Prepare
-	instanceEvictions atomic.Int64
+	instanceEvictions atomic.Int64 // LRU (capacity) + governor (bytes) evictions
 
 	jobsSubmitted atomic.Int64
 	jobsDone      atomic.Int64
@@ -50,6 +52,10 @@ type MetricsSnapshot struct {
 	Registry struct {
 		Prepares          int64 `json:"prepares"`
 		Extends           int64 `json:"extends"`
+		IndexExtendNS     int64 `json:"index_extend_ns"`
+		Shrinks           int64 `json:"shrinks"`
+		ResidentBytes     int64 `json:"resident_bytes"` // gauge: accounted artifact bytes
+		MemBudget         int64 `json:"mem_budget"`     // configured budget (0 = ungoverned)
 		InstanceHits      int64 `json:"instance_hits"`
 		PrefixHits        int64 `json:"prefix_hits"`
 		InstanceMisses    int64 `json:"instance_misses"`
@@ -82,6 +88,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Solves.Errors = m.solveErrors.Load()
 	s.Registry.Prepares = m.prepares.Load()
 	s.Registry.Extends = m.extends.Load()
+	s.Registry.IndexExtendNS = m.indexExtendNS.Load()
+	s.Registry.Shrinks = m.shrinks.Load()
 	s.Registry.InstanceHits = m.instanceHits.Load()
 	s.Registry.PrefixHits = m.prefixHits.Load()
 	s.Registry.InstanceMisses = m.instanceMisses.Load()

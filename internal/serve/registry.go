@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,8 +58,9 @@ const (
 	// no sampling, no index work.
 	OutcomePrefix
 	// OutcomeExtend: the entry's collection was grown to the requested θ
-	// (one incremental sampling pass plus a re-index) and a new artifact
-	// was published.
+	// (one incremental sampling pass plus an O(Δθ) index extension — only
+	// the new samples are appended to the inverted lists) and a new
+	// artifact was published.
 	OutcomeExtend
 )
 
@@ -130,24 +132,36 @@ func (a *Artifact) putEstimator(e *rrset.AUEstimator) { a.ests.Put(e) }
 
 // entry is one θ-monotone registry slot. The initial preparation runs
 // once (ready/err, singleflight); afterwards art always holds the
-// current snapshot and only grows. grow is a one-slot semaphore
-// serializing ExtendTo + re-index, so concurrent larger-θ requests run
-// one sampling pass per growth step, never a duplicate — a channel
-// rather than a mutex so requests canceled while queued behind a
-// multi-second growth return ctx.Err immediately instead of pinning a
-// goroutine for the growth's duration. Readers never take it.
+// current snapshot, grown by delta sampling + Index.ExtendFrom (O(Δθ),
+// never a full re-index) and — under memory pressure — θ-shrunk back to
+// its recently requested sizes by the governor. grow is a one-slot
+// semaphore serializing every artifact transition (ExtendTo, ShrinkTo),
+// so concurrent larger-θ requests run one sampling pass per growth step,
+// never a duplicate — a channel rather than a mutex so requests canceled
+// while queued behind a multi-second growth return ctx.Err immediately
+// instead of pinning a goroutine for the growth's duration, and so the
+// governor can skip busy entries without blocking. Readers never take
+// it.
+//
+// bytes is the current artifact's MemUsage and curMax/prevMax the
+// largest θ requested in the current and previous recency epochs — the
+// governor's accounting and shrink targets. All three are guarded by the
+// registry mutex.
 type entry struct {
+	key     instanceKey
 	ready   chan struct{} // closed once art/err are set
 	err     error
 	lastUse int64
 
-	evals *core.EvaluatorPool // shared by all snapshots; capacity only grows
-	grow  chan struct{}
-	art   atomic.Pointer[Artifact]
+	bytes           int64 // resident bytes of the current artifact
+	curMax, prevMax int   // largest θ requested this / previous epoch
+
+	grow chan struct{}
+	art  atomic.Pointer[Artifact]
 }
 
-func newEntry(lastUse int64) *entry {
-	return &entry{ready: make(chan struct{}), grow: make(chan struct{}, 1), lastUse: lastUse}
+func newEntry(key instanceKey, lastUse int64, theta int) *entry {
+	return &entry{key: key, ready: make(chan struct{}), grow: make(chan struct{}, 1), lastUse: lastUse, curMax: theta}
 }
 
 // Registry is the prepared-artifact cache at the heart of the service:
@@ -157,9 +171,26 @@ func newEntry(lastUse int64) *entry {
 // de-duplicated (exactly one goroutine runs core.PrepareLayouts, the
 // rest wait — observable as singleflight_waits vs prepares in the
 // metrics); requests for a θ the entry has not reached yet take the
-// entry's growth lock and extend the shared collection in place, while
-// smaller-θ requests are served immediately from a prefix of the
-// current snapshot.
+// entry's growth lock and grow the shared collection incrementally
+// (delta sampling plus an O(Δθ) Index.ExtendFrom — never a full
+// re-index), while smaller-θ requests are served immediately from a
+// prefix of the current snapshot.
+//
+// # Memory governor
+//
+// With a positive budget the registry also governs the bytes its
+// artifacts pin: every published artifact is accounted at its
+// core.Instance.MemUsage (resident_bytes in the metrics), and whenever
+// the total exceeds the budget a reclaim pass runs the pressure policy —
+// first θ-shrink cold grown entries back to the largest θ anything
+// recently requested of them (Instance.ShrinkTo: the tail samples and
+// index slack are actually released once old snapshots drain), then
+// LRU-evict entries that have gone entirely cold. "Recent" is measured
+// in request-clock epochs of epochWindow ticks: an entry's shrink target
+// is the largest θ requested in the current or previous epoch, and only
+// entries untouched for a full window are eviction candidates. The
+// budget is a soft target: a single hot artifact larger than the budget
+// stays resident (shrinking it under its own live demand would thrash).
 type Registry struct {
 	g        *graph.Graph
 	pool     []int32
@@ -167,24 +198,38 @@ type Registry struct {
 	layouts  *graph.LayoutCache
 	capacity int
 
-	mu      sync.Mutex
-	entries map[instanceKey]*entry
-	clock   int64
+	budget      int64 // resident-bytes target; 0 disables the governor
+	epochWindow int64 // request-clock ticks per recency epoch
+
+	mu         sync.Mutex
+	entries    map[instanceKey]*entry
+	clock      int64
+	epochClock int64 // clock at the last epoch rotation
+
+	resident   atomic.Int64
+	reclaiming atomic.Bool
 
 	m *metrics
 }
 
-func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, instanceCap int, m *metrics) *Registry {
+func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, instanceCap int, memBudget int64, memEpoch int, m *metrics) *Registry {
 	return &Registry{
-		g:        g,
-		pool:     pool,
-		model:    model,
-		layouts:  graph.NewLayoutCache(g, layoutCap),
-		capacity: instanceCap,
-		entries:  make(map[instanceKey]*entry),
-		m:        m,
+		g:           g,
+		pool:        pool,
+		model:       model,
+		layouts:     graph.NewLayoutCache(g, layoutCap),
+		capacity:    instanceCap,
+		budget:      memBudget,
+		epochWindow: int64(memEpoch),
+		entries:     make(map[instanceKey]*entry),
+		m:           m,
 	}
 }
+
+// ResidentBytes reports the accounted bytes of every published artifact
+// (exported at /metrics as resident_bytes). Old snapshots still held by
+// in-flight readers are not counted — they drain with their requests.
+func (r *Registry) ResidentBytes() int64 { return r.resident.Load() }
 
 // Layouts exposes the layout cache (the /v1/simulate path samples
 // straight off cached layouts without preparing an instance).
@@ -210,19 +255,26 @@ func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta 
 	}
 	key := instanceKey{campaign: campaignKey(campaign), seed: seed}
 
+	// Any return path below may have published bytes; run the pressure
+	// policy on the way out (cheap no-op while under budget).
+	defer r.maybeReclaim()
+
 	r.mu.Lock()
 	e, ok := r.entries[key]
 	if !ok {
 		r.m.instanceMisses.Add(1)
 		r.clock++
-		e = newEntry(r.clock)
+		e = newEntry(key, r.clock, theta)
 		r.entries[key] = e
 		r.evictLocked()
 		r.mu.Unlock()
-		return r.prepareEntry(ctx, e, key, campaign, theta, seed)
+		return r.prepareEntry(ctx, e, campaign, theta, seed)
 	}
 	r.clock++
 	e.lastUse = r.clock
+	if theta > e.curMax {
+		e.curMax = theta
+	}
 	select {
 	case <-e.ready:
 	default:
@@ -261,14 +313,14 @@ var errPrepareAborted = errors.New("serve: preparation aborted by a canceled req
 // failures (including cancellation) close the entry with the error and
 // drop it from the map, so waiters fail fast and nothing half-built is
 // cached — a corrected request simply retries.
-func (r *Registry) prepareEntry(ctx context.Context, e *entry, key instanceKey, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
 	fail := func(entryErr, err error) (*Artifact, Outcome, error) {
 		// Drop the entry from the map BEFORE closing ready: a waiter that
 		// wakes on errPrepareAborted retries immediately, and must find
 		// the slot empty (fresh miss), not this dead entry again.
 		r.mu.Lock()
-		if cur, ok := r.entries[key]; ok && cur == e {
-			delete(r.entries, key)
+		if cur, ok := r.entries[e.key]; ok && cur == e {
+			delete(r.entries, e.key)
 		}
 		r.mu.Unlock()
 		e.err = entryErr
@@ -284,9 +336,9 @@ func (r *Registry) prepareEntry(ctx context.Context, e *entry, key instanceKey, 
 	if err != nil {
 		return fail(err, err)
 	}
-	e.evals = core.NewEvaluatorPool(inst)
-	art := &Artifact{theta: theta, inst: inst, evals: e.evals}
+	art := &Artifact{theta: theta, inst: inst, evals: core.NewEvaluatorPool(inst)}
 	e.art.Store(art)
+	r.account(e, inst.MemUsage())
 	close(e.ready)
 	return art, OutcomeMiss, nil
 }
@@ -326,10 +378,26 @@ func (r *Registry) serveEntry(ctx context.Context, e *entry, theta int) (*Artifa
 		return nil, OutcomeExtend, err
 	}
 	r.m.extends.Add(1)
-	e.evals.EnsureTheta(theta)
-	na := &Artifact{theta: theta, inst: inst, evals: e.evals}
+	r.m.indexExtendNS.Add(inst.IndexTime.Nanoseconds())
+	a.evals.EnsureTheta(theta)
+	na := &Artifact{theta: theta, inst: inst, evals: a.evals}
 	e.art.Store(na)
+	r.account(e, inst.MemUsage())
 	return na, OutcomeExtend, nil
+}
+
+// account books the entry's current artifact at bytes, adjusting the
+// registry-wide resident gauge by the delta. Entries no longer in the
+// map (evicted while this request was growing the orphan) are not
+// accounted: their artifacts die with their in-flight readers.
+func (r *Registry) account(e *entry, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.entries[e.key]; !ok || cur != e {
+		return
+	}
+	r.resident.Add(bytes - e.bytes)
+	e.bytes = bytes
 }
 
 // serveSnapshot classifies a request against one published snapshot:
@@ -380,35 +448,167 @@ func (r *Registry) prepare(campaign topic.Campaign, theta int, seed uint64) (*co
 	return core.PrepareLayouts(prob, layouts, theta, seed)
 }
 
+// maybeReclaim runs the pressure policy when the resident bytes exceed
+// the budget: shrink cold grown entries to their recently requested θ,
+// then LRU-evict entries that have gone entirely cold. It runs
+// synchronously on the request that pushed the registry over budget
+// (typically the grower that added the bytes), and at most one pass at a
+// time — concurrent requests observe the guard and move on.
+func (r *Registry) maybeReclaim() {
+	if r.budget <= 0 || r.resident.Load() <= r.budget {
+		return
+	}
+	if !r.reclaiming.CompareAndSwap(false, true) {
+		return
+	}
+	defer r.reclaiming.Store(false)
+
+	// Pass 1: collect shrink candidates — completed entries whose
+	// artifact θ exceeds the largest θ anything requested of them within
+	// the recency window (current + previous epoch) — coldest first.
+	// Epochs rotate here, on reclaim passes at least epochWindow request
+	// ticks apart, so a hot entry's demand ages out of the window only
+	// after it has actually gone quiet.
+	type candidate struct {
+		e      *entry
+		target int
+		use    int64
+	}
+	var cands []candidate
+	r.mu.Lock()
+	rotate := r.clock-r.epochClock >= r.epochWindow
+	if rotate {
+		r.epochClock = r.clock
+	}
+	for _, e := range r.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err != nil {
+			continue
+		}
+		target := e.curMax
+		if e.prevMax > target {
+			target = e.prevMax
+		}
+		if rotate {
+			e.prevMax, e.curMax = e.curMax, 0
+		}
+		if a := e.art.Load(); a != nil && target > 0 && a.Theta() > target {
+			cands = append(cands, candidate{e: e, target: target, use: e.lastUse})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].use < cands[j].use })
+	for _, c := range cands {
+		if r.resident.Load() <= r.budget {
+			return
+		}
+		r.shrinkEntry(c.e, c.target)
+	}
+
+	// Pass 2: still over budget — evict entries untouched for a full
+	// epoch window, coldest first. Recently used entries are spared even
+	// over budget (the budget is a soft target; evicting live demand
+	// would re-prepare it right back).
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.resident.Load() > r.budget {
+		if !r.evictColdestLocked(func(e *entry) bool { return e.lastUse <= r.clock-r.epochWindow }) {
+			return
+		}
+	}
+}
+
+// evictColdestLocked drops the least-recently-used completed entry
+// satisfying eligible, releasing its accounted bytes. It reports whether
+// anything was evicted; in-flight preparations are never candidates
+// (waiters hold them).
+func (r *Registry) evictColdestLocked(eligible func(*entry) bool) bool {
+	var (
+		oldKey instanceKey
+		oldest *entry
+	)
+	for k, e := range r.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if !eligible(e) {
+			continue
+		}
+		if oldest == nil || e.lastUse < oldest.lastUse {
+			oldKey, oldest = k, e
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	delete(r.entries, oldKey)
+	r.resident.Add(-oldest.bytes)
+	oldest.bytes = 0
+	r.m.instanceEvictions.Add(1)
+	return true
+}
+
+// shrinkEntry re-materializes the entry's artifact at target θ
+// (Instance.ShrinkTo: an owned compact copy — the shed tail and index
+// slack are actually released once in-flight readers of older snapshots
+// drain). It takes the entry's growth slot non-blockingly: an entry
+// busy growing is simply skipped — its grower re-triggers reclaim on
+// publish — and a request that asks for a larger θ right after a shrink
+// regrows the identical samples (deterministic in (seed, i)).
+func (r *Registry) shrinkEntry(e *entry, target int) {
+	select {
+	case e.grow <- struct{}{}:
+	default:
+		return
+	}
+	defer func() { <-e.grow }()
+	// Requests may have raised the entry's recent demand between
+	// candidate collection and here; shrinking below it would regrow
+	// samples the entry just had resident. Re-read the window max.
+	r.mu.Lock()
+	if e.curMax > target {
+		target = e.curMax
+	}
+	if e.prevMax > target {
+		target = e.prevMax
+	}
+	r.mu.Unlock()
+	a := e.art.Load()
+	if a == nil || a.Theta() <= target {
+		return
+	}
+	inst, err := a.inst.ShrinkTo(target)
+	if err != nil {
+		return
+	}
+	// A fresh evaluator pool sized at the shrunk θ: the old pool's
+	// θ-sized scratch arrays would otherwise keep (a multiple of) the
+	// shed bytes alive.
+	na := &Artifact{theta: target, inst: inst, evals: core.NewEvaluatorPool(inst)}
+	e.art.Store(na)
+	r.m.shrinks.Add(1)
+	r.account(e, inst.MemUsage())
+}
+
 // evictLocked drops least-recently-used completed entries until the
 // count is back within capacity; in-flight preparations are never
 // evicted (waiters hold them). An entry evicted while one request is
 // still growing it is harmless: the growth completes on the orphaned
-// entry and the next request re-prepares.
+// entry (unaccounted — see account) and the next request re-prepares.
 func (r *Registry) evictLocked() {
 	if r.capacity <= 0 {
 		return
 	}
 	for len(r.entries) > r.capacity {
-		var (
-			oldKey instanceKey
-			oldest *entry
-		)
-		for k, e := range r.entries {
-			select {
-			case <-e.ready:
-			default:
-				continue
-			}
-			if oldest == nil || e.lastUse < oldest.lastUse {
-				oldKey, oldest = k, e
-			}
-		}
-		if oldest == nil {
+		if !r.evictColdestLocked(func(*entry) bool { return true }) {
 			return
 		}
-		delete(r.entries, oldKey)
-		r.m.instanceEvictions.Add(1)
 	}
 }
 

@@ -381,7 +381,7 @@ func TestRegistryWaiterSurvivesOwnerCancellation(t *testing.T) {
 	// Mimic the miss path up to the point where the owner would build:
 	// insert the in-flight entry by hand so a waiter can join it.
 	r.mu.Lock()
-	e := newEntry(1)
+	e := newEntry(key, 1, 300)
 	r.entries[key] = e
 	r.mu.Unlock()
 
@@ -400,7 +400,7 @@ func TestRegistryWaiterSurvivesOwnerCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := r.prepareEntry(ctx, e, key, camp, 300, 1); err == nil {
+	if _, _, err := r.prepareEntry(ctx, e, camp, 300, 1); err == nil {
 		t.Fatal("canceled owner did not surface its own ctx error")
 	}
 	got := <-waiter

@@ -15,10 +15,17 @@
 //     below the prepared sample count is served from a θ-prefix view of
 //     the cached artifact (bit-identical to a fresh θ-sized
 //     preparation, zero sampling work), while a larger θ grows the
-//     shared collection in place (one incremental sampling pass plus a
-//     re-index, serialized per entry) and republishes an immutable
-//     snapshot — in-flight readers of older snapshots are never
-//     invalidated;
+//     shared collection incrementally (delta sampling plus an O(Δθ)
+//     Index.ExtendFrom that appends only the new samples to the
+//     inverted lists — never a full re-index; serialized per entry) and
+//     republishes an immutable snapshot — in-flight readers of older
+//     snapshots are never invalidated;
+//   - a memory-governed artifact lifecycle (grow → shrink → evict): with
+//     MemBudget set, published artifacts are accounted (resident_bytes)
+//     and memory pressure first θ-shrinks cold grown entries back to
+//     their largest recently requested θ (core.Instance.ShrinkTo — an
+//     owned compact copy, so the shed samples are actually released),
+//     then LRU-evicts entries that have gone entirely cold;
 //   - per-entry core.EvaluatorPools and rrset.AUEstimator pools so
 //     concurrent requests reuse solver scratch without data races — the
 //     MRR views, indexes and layouts they read are immutable and shared.
@@ -69,6 +76,17 @@ type Config struct {
 	LayoutCapacity   int // cached piece layouts (default 128)
 	InstanceCapacity int // cached prepared instances (default 8)
 
+	// MemBudget is the soft resident-bytes target for prepared artifacts
+	// (0 = ungoverned). Over budget the registry θ-shrinks cold grown
+	// entries to their largest recently requested θ, then LRU-evicts
+	// fully cold ones; a single hot artifact may exceed the budget.
+	MemBudget int64
+	// MemEpoch is the recency window in registry requests (default 64):
+	// shrink targets look at the largest θ requested within the current
+	// and previous epoch, and only entries untouched for a full epoch
+	// are eviction candidates.
+	MemEpoch int
+
 	Workers    int // async solve workers (default GOMAXPROCS)
 	QueueDepth int // async backlog bound (default 64)
 	JobHistory int // finished jobs retained for polling (default 256)
@@ -92,6 +110,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.InstanceCapacity <= 0 {
 		c.InstanceCapacity = 8
+	}
+	if c.MemEpoch <= 0 {
+		c.MemEpoch = 64
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -129,7 +150,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: default model: %w", err)
 	}
 	s := &Server{cfg: cfg, g: cfg.Graph}
-	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, &s.m)
+	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, cfg.MemBudget, cfg.MemEpoch, &s.m)
 	s.jobs = newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.JobHistory, &s.m)
 	s.jobs.run = s.runJob
 	s.routes()
@@ -150,6 +171,8 @@ func (s *Server) Close() { s.jobs.close() }
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.m.snapshot()
 	snap.Registry.Instances = s.reg.Len()
+	snap.Registry.ResidentBytes = s.reg.ResidentBytes()
+	snap.Registry.MemBudget = s.cfg.MemBudget
 	snap.Registry.LayoutHits, snap.Registry.LayoutMisses = s.reg.Layouts().Stats()
 	snap.Registry.Layouts = s.reg.Layouts().Len()
 	snap.Jobs.Queued = s.jobs.queued()
@@ -195,15 +218,19 @@ type SolveRequest struct {
 
 // SolveResponse is the body of a completed solve (inline or via job).
 type SolveResponse struct {
-	Method   string           `json:"method"`
-	Utility  float64          `json:"utility"`
-	Upper    float64          `json:"upper,omitempty"`
-	Plan     [][]int32        `json:"plan"`
-	Pieces   []string         `json:"pieces"`
-	Theta    int              `json:"theta"`
-	K        int              `json:"k"`
-	SolveMS  float64          `json:"solve_ms"`
-	SampleMS float64          `json:"sample_ms"` // 0 when no sampling ran (hit / prefix)
+	Method   string    `json:"method"`
+	Utility  float64   `json:"utility"`
+	Upper    float64   `json:"upper,omitempty"`
+	Plan     [][]int32 `json:"plan"`
+	Pieces   []string  `json:"pieces"`
+	Theta    int       `json:"theta"`
+	K        int       `json:"k"`
+	SolveMS  float64   `json:"solve_ms"`
+	SampleMS float64   `json:"sample_ms"` // 0 when no sampling ran (hit / prefix)
+	// IndexMS is the inverted-index time behind this request: the full
+	// BuildIndex on a miss, only the O(Δθ) ExtendFrom delta on a growth
+	// step, 0 on a hit / prefix.
+	IndexMS  float64          `json:"index_ms"`
 	Stats    core.SolverStats `json:"stats"`
 	CacheHit bool             `json:"cache_hit"` // served without sampling work
 	// PrefixHit: served as a θ-prefix of a larger cached artifact.
@@ -521,10 +548,12 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	for j, p := range req.Campaign.Pieces {
 		pieces[j] = p.Name
 	}
-	sampleMS := 0.0
+	sampleMS, indexMS := 0.0, 0.0
 	if !outcome.CacheHit() {
-		// Miss: the full preparation; extend: only the growth step.
+		// Miss: the full preparation; extend: only the growth step's
+		// sampling and index deltas.
 		sampleMS = float64(art.Instance().SampleTime) / float64(time.Millisecond)
+		indexMS = float64(art.Instance().IndexTime) / float64(time.Millisecond)
 	}
 	return &SolveResponse{
 		Method:        res.Method,
@@ -536,6 +565,7 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		K:             req.K,
 		SolveMS:       float64(res.Elapsed) / float64(time.Millisecond),
 		SampleMS:      sampleMS,
+		IndexMS:       indexMS,
 		Stats:         res.Stats,
 		CacheHit:      outcome.CacheHit(),
 		PrefixHit:     outcome == OutcomePrefix,
