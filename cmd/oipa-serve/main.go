@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"oipa/internal/faultpoint"
 	"oipa/internal/gen"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
@@ -47,13 +48,23 @@ func main() {
 		instances = flag.Int("instances", 8, "prepared-instance cache capacity")
 		memBudget = flag.Int64("mem-budget", 0, "soft resident-bytes budget for prepared artifacts (0 = ungoverned): over budget, cold grown entries are theta-shrunk to their recently requested theta, then fully cold entries are LRU-evicted")
 		memEpoch  = flag.Int("mem-epoch", 64, "memory-governor recency window, in registry requests")
+		memTick   = flag.Duration("mem-tick", 30*time.Second, "background memory-governor tick interval (negative = request-driven reclaim only)")
 		workers   = flag.Int("workers", 0, "async solve workers (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "async job backlog bound")
+		reqTmo    = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per synchronous request; client timeout_ms is capped by it")
+		admitCap  = flag.Int("admit-capacity", 0, "admission semaphore capacity in weight units (solve/simulate=2, estimate=1; 0 = 2x GOMAXPROCS)")
+		admitQ    = flag.Int("admit-queue", 0, "admission wait-queue bound; waiters beyond it are shed with 429 (0 = 4x capacity, negative = no queue)")
+		grace     = flag.Duration("drain-grace", 15*time.Second, "graceful-drain budget on SIGINT/SIGTERM before in-flight work is hard-canceled")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if armed, err := faultpoint.ArmFromEnv(os.Getenv(faultpoint.EnvVar)); err != nil {
+		log.Fatalf("%s: %v", faultpoint.EnvVar, err)
+	} else if len(armed) > 0 {
+		log.Printf("FAULT INJECTION ARMED (%s): %v", faultpoint.EnvVar, armed)
 	}
 	g, err := graph.Load(*graphPath)
 	if err != nil {
@@ -73,8 +84,12 @@ func main() {
 		InstanceCapacity: *instances,
 		MemBudget:        *memBudget,
 		MemEpoch:         *memEpoch,
+		MemTick:          *memTick,
 		Workers:          *workers,
 		QueueDepth:       *queue,
+		RequestTimeout:   *reqTmo,
+		AdmitCapacity:    *admitCap,
+		AdmitQueue:       *admitQ,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,16 +97,27 @@ func main() {
 	srv.PublishExpvar("oipa-serve")
 	log.Printf("graph %s: n=%d m=%d topics=%d, pool=%d promoters", *graphPath, g.N(), g.M(), g.Z(), len(pool))
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		<-sigCtx.Done()
+		log.Printf("draining (grace %s)", *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		// Application drain first: flip /readyz, refuse new heavy work,
+		// cancel the async backlog, wait out in-flight solves — then let
+		// the HTTP layer close idle connections and finish the rest.
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
@@ -102,4 +128,5 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+	log.Print("drained")
 }

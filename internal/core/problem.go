@@ -25,9 +25,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"oipa/internal/faultpoint"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
 	"oipa/internal/rrset"
@@ -242,6 +244,16 @@ func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
 // in both CSR orders); code that needs edge-id-ordered probabilities
 // should use Prepare.
 func PrepareLayouts(p *Problem, layouts []*graph.PieceLayout, theta int, seed uint64) (*Instance, error) {
+	return PrepareLayoutsCtx(context.Background(), p, layouts, theta, seed)
+}
+
+// PrepareLayoutsCtx is PrepareLayouts bounded by a context: the MRR
+// sampling pass checks ctx at sample-block granularity
+// (rrset.MRRCollection.ExtendToCtx) and a cancellation surfaces as
+// ctx.Err() with no instance — a query service can abandon a
+// multi-second preparation the moment its request deadline expires
+// instead of finishing work nobody will read.
+func PrepareLayoutsCtx(ctx context.Context, p *Problem, layouts []*graph.PieceLayout, theta int, seed uint64) (*Instance, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -257,8 +269,11 @@ func PrepareLayouts(p *Problem, layouts []*graph.PieceLayout, theta int, seed ui
 			return nil, fmt.Errorf("core: piece %d layout not built for the problem graph", j)
 		}
 	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("core: non-positive theta %d", theta)
+	}
 	start := time.Now()
-	mrr, err := rrset.SampleMRRLayouts(p.G, layouts, theta, seed)
+	mrr, err := rrset.SampleMRRLayoutsCtx(ctx, p.G, layouts, theta, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -326,14 +341,33 @@ func (in *Instance) Prefix(theta int) (*Instance, error) {
 // per-entry lock); concurrent readers of published instances are safe.
 // theta at or below the current Theta() returns the receiver unchanged.
 func (in *Instance) ExtendTo(theta int) (*Instance, error) {
+	return in.ExtendToCtx(context.Background(), theta)
+}
+
+// ExtendToCtx is ExtendTo bounded by a context: sampling checks ctx at
+// sample-block granularity (rrset.MRRCollection.ExtendToCtx) and a
+// cancellation returns ctx.Err() with no new instance. The partial
+// growth is NOT rolled back — it is consistent (every sample below the
+// collection's new Theta() is fully materialized and bit-identical to
+// an uninterrupted growth) and simply unpublished, so a later ExtendTo
+// resumes from wherever this one stopped. The receiver and every
+// previously published view stay valid throughout.
+func (in *Instance) ExtendToCtx(ctx context.Context, theta int) (*Instance, error) {
 	if theta <= in.Theta() {
 		return in, nil
 	}
 	start := time.Now()
-	if err := in.MRR.ExtendTo(theta); err != nil {
+	if err := in.MRR.ExtendToCtx(ctx, theta); err != nil {
 		return nil, err
 	}
 	sampleTime := time.Since(start)
+	// Chaos hook: "core.extend.mid" sits between the sampling and index
+	// halves of the growth step — a panic here models the worst
+	// mid-growth crash (samples grown, index not), which the serve
+	// registry must contain without corrupting the published snapshot.
+	if err := faultpoint.Hit("core.extend.mid"); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	ix, err := in.Index.ExtendFrom(in.MRR)
 	if err != nil {

@@ -1,0 +1,55 @@
+package rrset
+
+import (
+	"testing"
+
+	"oipa/internal/logistic"
+)
+
+// The index-path estimator must equal the scan-path estimator bitwise,
+// including over indexes produced by ExtendFrom chains. Before
+// EstimateAUWith summed per-sample adoptions in ascending sample order
+// (the scan's order), the two paths rounded differently for some inputs
+// — trial 2 below was a deterministic counterexample (off by ~1e-15) —
+// which surfaced as a rare published-estimate drift in the core growth
+// tests. This pins the summation-order contract.
+func TestIndexEstimateMatchesScanAfterGrowth(t *testing.T) {
+	g, probs := randomTestGraph(t, 29, 50, 300)
+	model := logistic.Model{Alpha: 2, Beta: 1}
+	pool := []int32{1, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+	plan := [][]int32{{1, 3}, {5}}
+
+	for trial := 0; trial < 30; trial++ {
+		mc, err := SampleMRR(g, probs, 150, uint64(trial+11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := mc.BuildIndex(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta := 150
+		for step := 0; step < 4; step++ {
+			theta += 400
+			if err := mc.ExtendTo(theta); err != nil {
+				t.Fatal(err)
+			}
+			ix, err = ix.ExtendFrom(mc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaIndex, err := ix.EstimateAU(plan, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaScan, err := ix.MRR().NewEstimator().EstimateAU(plan, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaIndex != viaScan {
+				t.Fatalf("trial %d θ=%d: index %v != scan %v (diff %g)",
+					trial, theta, viaIndex, viaScan, viaIndex-viaScan)
+			}
+		}
+	}
+}

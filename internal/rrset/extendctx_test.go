@@ -1,0 +1,99 @@
+package rrset
+
+import (
+	"context"
+	"testing"
+)
+
+// TestExtendToCtxCanceledLeavesConsistentPrefix pins the ctx-growth
+// contract: a growth canceled between sample chunks leaves the
+// collection at a consistent intermediate θ (every sample below Theta()
+// fully materialized), and resuming the growth yields a collection
+// bit-identical to one grown without interruption.
+func TestExtendToCtxCanceledLeavesConsistentPrefix(t *testing.T) {
+	g, probs := randomTestGraph(t, 77, 50, 300)
+	layouts, err := buildLayouts(g, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, small, big = 11, 100, 30_000
+
+	m, err := SampleMRRLayouts(g, layouts, small, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A context canceled after the first chunk: growth must stop early
+	// with ctx.Err, at a θ in [small+1 chunk, big).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.ExtendToCtx(ctx, big); err != context.Canceled {
+		t.Fatalf("pre-canceled growth returned %v", err)
+	}
+	if m.Theta() != small {
+		t.Fatalf("pre-canceled growth moved theta to %d", m.Theta())
+	}
+
+	// Cancel from within the growth: wrap a context that trips after
+	// allowing one chunk boundary through.
+	trip := &tripCtx{Context: context.Background(), allow: 1}
+	if err := m.ExtendToCtx(trip, big); err == nil {
+		t.Fatal("tripped growth returned nil")
+	}
+	mid := m.Theta()
+	if mid <= small || mid >= big {
+		t.Fatalf("tripped growth stopped at theta %d, want inside (%d, %d)", mid, small, big)
+	}
+
+	// Resume, then compare sample-for-sample against an uninterrupted
+	// collection at the same (graph, layouts, seed).
+	if err := m.ExtendTo(big); err != nil {
+		t.Fatal(err)
+	}
+	want, err := SampleMRRLayouts(g, layouts, big, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Theta() != want.Theta() {
+		t.Fatalf("thetas %d vs %d", m.Theta(), want.Theta())
+	}
+	for i := 0; i < big; i += 997 { // strided spot check keeps this fast
+		if m.Root(i) != want.Root(i) {
+			t.Fatalf("sample %d: roots %d vs %d", i, m.Root(i), want.Root(i))
+		}
+		for j := 0; j < m.L(); j++ {
+			a, b := m.Set(i, j), want.Set(i, j)
+			if len(a) != len(b) {
+				t.Fatalf("sample %d piece %d: sizes %d vs %d", i, j, len(a), len(b))
+			}
+			for x := range a {
+				if a[x] != b[x] {
+					t.Fatalf("sample %d piece %d: sets differ at %d", i, j, x)
+				}
+			}
+		}
+	}
+}
+
+// tripCtx reports itself canceled after `allow` Err() calls — it
+// simulates a deadline expiring between sample chunks. Done() returns a
+// non-nil channel so ExtendToCtx takes the chunked path.
+type tripCtx struct {
+	context.Context
+	allow int
+	done  chan struct{}
+}
+
+func (c *tripCtx) Done() <-chan struct{} {
+	if c.done == nil {
+		c.done = make(chan struct{})
+	}
+	return c.done
+}
+
+func (c *tripCtx) Err() error {
+	if c.allow <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.allow--
+	return nil
+}

@@ -2,6 +2,7 @@ package rrset
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -350,7 +351,6 @@ func (ix *Index) EstimateAUWith(plan [][]int32, model logistic.Model, s *AUScrat
 	// samples whose counts went 0→1 — covers every dirtied entry.
 	counts, pieceSeen := s.counts, s.pieceSeen
 	s.touched = s.touched[:0]
-	total := 0.0
 	for j, seeds := range plan {
 		for _, v := range seeds {
 			p, ok := ix.PoolPos(v)
@@ -371,9 +371,20 @@ func (ix *Index) EstimateAUWith(plan [][]int32, model logistic.Model, s *AUScrat
 					s.touched = append(s.touched, i)
 				}
 				counts[i]++
-				total += adoptAt[counts[i]] - adoptAt[counts[i]-1]
 			}
 		}
+	}
+	// Sum adoption over touched samples in ascending sample order — the
+	// same order EstimateAUScan accumulates in. A running telescoped sum
+	// in list-traversal order rounds differently for some inputs, which
+	// made "index estimate == scan estimate" hold only coincidentally;
+	// summing final per-sample adoptions in sample order makes the two
+	// paths bit-identical by construction (untouched samples contribute
+	// an exact 0 to the scan's total, so skipping them changes nothing).
+	slices.Sort(s.touched)
+	total := 0.0
+	for _, i := range s.touched {
+		total += adoptAt[counts[i]]
 	}
 	for _, i := range s.touched {
 		counts[i] = 0

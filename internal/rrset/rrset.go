@@ -1,6 +1,7 @@
 package rrset
 
 import (
+	"context"
 	"fmt"
 
 	"oipa/internal/bitset"
@@ -430,6 +431,13 @@ func buildLayouts(g *graph.Graph, pieceProbs [][]float64) ([]*graph.PieceLayout,
 // repeatedly over the same campaign (progressive estimation, parameter
 // sweeps) prepare the layouts once.
 func SampleMRRLayouts(g *graph.Graph, layouts []*graph.PieceLayout, theta int, seed uint64) (*MRRCollection, error) {
+	return SampleMRRLayoutsCtx(context.Background(), g, layouts, theta, seed)
+}
+
+// SampleMRRLayoutsCtx is SampleMRRLayouts bounded by a context: the
+// sampling pass checks ctx between sample blocks (ExtendToCtx) and a
+// cancellation returns ctx.Err() with no collection.
+func SampleMRRLayoutsCtx(ctx context.Context, g *graph.Graph, layouts []*graph.PieceLayout, theta int, seed uint64) (*MRRCollection, error) {
 	if err := validateLayouts(g, layouts); err != nil {
 		return nil, err
 	}
@@ -437,7 +445,7 @@ func SampleMRRLayouts(g *graph.Graph, layouts []*graph.PieceLayout, theta int, s
 		return nil, fmt.Errorf("rrset: non-positive theta %d", theta)
 	}
 	m := newMRRCollection(g, layouts, seed)
-	if err := m.ExtendTo(theta); err != nil {
+	if err := m.ExtendToCtx(ctx, theta); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -489,6 +497,26 @@ func validateLayouts(g *graph.Graph, layouts []*graph.PieceLayout) error {
 // SampleMRRWithRoots, whose caller-pinned roots would otherwise be
 // silently mixed with (seed, i)-derived ones.
 func (m *MRRCollection) ExtendTo(theta int) error {
+	return m.ExtendToCtx(context.Background(), theta)
+}
+
+// extendCtxChunk is the sample granularity at which ExtendToCtx checks
+// its context: large enough that the per-chunk scheduling overhead (one
+// work-stealing run, one directory entry per block) is noise next to
+// the sampling itself, small enough that a canceled multi-second growth
+// stops within a few milliseconds.
+const extendCtxChunk = 8192
+
+// ExtendToCtx is ExtendTo bounded by a context: growth proceeds in
+// chunks of extendCtxChunk samples with a cancellation check between
+// chunks. On cancellation the collection is left at a consistent
+// intermediate θ — every sample below Theta() is fully materialized and
+// bit-identical to an uninterrupted growth (sample i depends only on
+// (graph, layouts, seed)), so a later ExtendTo call resumes exactly
+// where this one stopped instead of restarting. A context that can
+// never be canceled (ctx.Done() == nil) skips the chunking and samples
+// the whole delta as one run.
+func (m *MRRCollection) ExtendToCtx(ctx context.Context, theta int) error {
 	start := m.Theta()
 	if theta <= start {
 		return nil
@@ -499,13 +527,27 @@ func (m *MRRCollection) ExtendTo(theta int) error {
 	if m.rootsPinned {
 		return fmt.Errorf("rrset: collection has caller-pinned roots; extending would mix root distributions")
 	}
-	n := uint64(m.g.N())
-	m.roots = append(m.roots, make([]int32, theta-start)...)
-	for i := start; i < theta; i++ {
-		rng := xrand.Derive(m.seed, uint64(i))
-		m.roots[i] = int32(rng.Uint64n(n))
+	chunk := theta - start
+	if ctx.Done() != nil && extendCtxChunk < chunk {
+		chunk = extendCtxChunk
 	}
-	m.sampleRange(start, theta)
+	n := uint64(m.g.N())
+	for start < theta {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := start + chunk
+		if end > theta {
+			end = theta
+		}
+		m.roots = append(m.roots, make([]int32, end-start)...)
+		for i := start; i < end; i++ {
+			rng := xrand.Derive(m.seed, uint64(i))
+			m.roots[i] = int32(rng.Uint64n(n))
+		}
+		m.sampleRange(start, end)
+		start = end
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -40,6 +41,7 @@ type job struct {
 	result    *SolveResponse
 	cancel    chan struct{}
 	canceled  bool
+	terminal  bool // retired into history; complete() must not run again
 }
 
 // jobQueue runs heavy solves asynchronously: submit → poll → result.
@@ -57,9 +59,10 @@ type jobQueue struct {
 	nextID   int64
 	closed   bool
 
-	ch   chan *job
-	quit chan struct{}
-	wg   sync.WaitGroup
+	ch       chan *job
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
 
 	run func(j *job) // set by the server: executes the solve
 	m   *metrics
@@ -110,13 +113,27 @@ func (q *jobQueue) execute(j *job) {
 	j.started = time.Now()
 	q.mu.Unlock()
 
+	// A panicking solve must not kill its worker goroutine (the pool
+	// would silently shrink until the queue deadlocks): contain it,
+	// count it, and fail just this job.
+	defer func() {
+		if p := recover(); p != nil {
+			q.m.panicsTotal.Add(1)
+			q.complete(j, nil, panicError{val: p})
+		}
+	}()
 	q.run(j) // fills j.result / j.errMsg via complete()
 }
 
-// complete records the outcome; the runner calls it exactly once.
+// complete records the outcome; the runner calls it once per job —
+// a second call (the panic-recovery path firing after a completed
+// run somehow panicked on its way out) is a no-op.
 func (q *jobQueue) complete(j *job, res *SolveResponse, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if j.terminal {
+		return
+	}
 	j.finished = time.Now()
 	switch {
 	case j.canceled:
@@ -142,6 +159,7 @@ func (q *jobQueue) complete(j *job, res *SolveResponse, err error) {
 // Polling an evicted id returns 404 — the documented contract is that
 // results stay available for the `history` most recent completions.
 func (q *jobQueue) retireLocked(j *job) {
+	j.terminal = true
 	q.finished = append(q.finished, j.id)
 	for q.history > 0 && len(q.finished) > q.history {
 		delete(q.jobs, q.finished[0])
@@ -246,10 +264,54 @@ func (q *jobQueue) list() []JobStatus {
 
 func (q *jobQueue) queued() int { return len(q.ch) }
 
+// drain shuts the queue down gracefully: submissions are refused
+// (ErrClosed), jobs still waiting in the backlog are canceled — their
+// workers skip them — and drain waits, bounded by ctx, for the running
+// jobs to finish naturally. If the grace expires first, the running
+// jobs are hard-canceled (their solvers stop at the next node expansion
+// and retire with their incumbents) and the worker exit is still
+// awaited, so no job goroutine outlives drain.
+func (q *jobQueue) drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	for _, j := range q.jobs {
+		if !j.canceled && j.state == JobQueued {
+			j.canceled = true
+			close(j.cancel)
+			j.state = JobCanceled
+			j.finished = time.Now()
+			q.retireLocked(j)
+			q.m.jobsCanceled.Add(1)
+		}
+	}
+	q.mu.Unlock()
+	q.quitOnce.Do(func() { close(q.quit) })
+
+	done := make(chan struct{})
+	go func() { q.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	q.mu.Lock()
+	running := 0
+	for _, j := range q.jobs {
+		if !j.canceled && j.state == JobRunning {
+			j.canceled = true
+			close(j.cancel)
+			running++
+		}
+	}
+	q.mu.Unlock()
+	<-done
+	return fmt.Errorf("serve: job drain grace expired; %d running jobs canceled: %w", running, ctx.Err())
+}
+
 // close stops the workers after their current job and cancels everything
 // still queued or running.
 func (q *jobQueue) close() {
-	close(q.quit)
+	q.quitOnce.Do(func() { close(q.quit) })
 	q.mu.Lock()
 	q.closed = true
 	for _, j := range q.jobs {

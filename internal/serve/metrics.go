@@ -17,15 +17,23 @@ type metrics struct {
 	solvesTotal    atomic.Int64
 	solveErrors    atomic.Int64
 
-	prepares          atomic.Int64 // core.PrepareLayouts invocations
-	extends           atomic.Int64 // growth steps: delta sampling + Index.ExtendFrom
-	indexExtendNS     atomic.Int64 // cumulative ns spent in per-step index work (IndexTime)
-	shrinks           atomic.Int64 // governor θ-shrinks (Instance.ShrinkTo republishes)
-	instanceHits      atomic.Int64 // exact-θ snapshot served
-	prefixHits        atomic.Int64 // θ-prefix of a larger snapshot served
-	instanceMisses    atomic.Int64
-	singleflightWaits atomic.Int64 // requests that waited on another's Prepare
-	instanceEvictions atomic.Int64 // LRU (capacity) + governor (bytes) evictions
+	inflightEstimates atomic.Int64 // gauge: estimate scans currently executing
+	inflightSimulates atomic.Int64 // gauge: forward simulations currently executing
+	shedTotal         atomic.Int64 // requests rejected by overload protection (429/503 + Retry-After)
+	panicsTotal       atomic.Int64 // panics contained by handler/job/registry recovery
+	degradedSolves    atomic.Int64 // deadline-expired solves answered with their incumbent
+
+	prepares           atomic.Int64 // core.PrepareLayouts invocations
+	extends            atomic.Int64 // growth steps: delta sampling + Index.ExtendFrom
+	indexExtendNS      atomic.Int64 // cumulative ns spent in per-step index work (IndexTime)
+	shrinks            atomic.Int64 // governor θ-shrinks (Instance.ShrinkTo republishes)
+	reclaimsBackground atomic.Int64 // governor passes started by the timer tick, not a request
+	reprepares         atomic.Int64 // poisoned entries rebuilt after a contained mid-growth panic
+	instanceHits       atomic.Int64 // exact-θ snapshot served
+	prefixHits         atomic.Int64 // θ-prefix of a larger snapshot served
+	instanceMisses     atomic.Int64
+	singleflightWaits  atomic.Int64 // requests that waited on another's Prepare
+	instanceEvictions  atomic.Int64 // LRU (capacity) + governor (bytes) evictions
 
 	jobsSubmitted atomic.Int64
 	jobsDone      atomic.Int64
@@ -49,22 +57,39 @@ type MetricsSnapshot struct {
 		Total    int64 `json:"total"`
 		Errors   int64 `json:"errors"`
 	} `json:"solves"`
+	// Server is the robustness block: overload shedding, deadline
+	// degradation, contained panics, drain state, and the in-flight
+	// gauge per admitted endpoint class.
+	Server struct {
+		ShedTotal      int64 `json:"shed_total"`
+		PanicsTotal    int64 `json:"panics_total"`
+		DegradedSolves int64 `json:"degraded_solves"`
+		AdmitQueued    int   `json:"admit_queued"` // gauge: requests waiting for admission
+		Draining       bool  `json:"draining"`
+		Inflight       struct {
+			Solve    int64 `json:"solve"`
+			Estimate int64 `json:"estimate"`
+			Simulate int64 `json:"simulate"`
+		} `json:"inflight"`
+	} `json:"server"`
 	Registry struct {
-		Prepares          int64 `json:"prepares"`
-		Extends           int64 `json:"extends"`
-		IndexExtendNS     int64 `json:"index_extend_ns"`
-		Shrinks           int64 `json:"shrinks"`
-		ResidentBytes     int64 `json:"resident_bytes"` // gauge: accounted artifact bytes
-		MemBudget         int64 `json:"mem_budget"`     // configured budget (0 = ungoverned)
-		InstanceHits      int64 `json:"instance_hits"`
-		PrefixHits        int64 `json:"prefix_hits"`
-		InstanceMisses    int64 `json:"instance_misses"`
-		SingleflightWaits int64 `json:"singleflight_waits"`
-		InstanceEvictions int64 `json:"instance_evictions"`
-		Instances         int   `json:"instances"`
-		LayoutHits        int64 `json:"layout_hits"`
-		LayoutMisses      int64 `json:"layout_misses"`
-		Layouts           int   `json:"layouts"`
+		Prepares           int64 `json:"prepares"`
+		Extends            int64 `json:"extends"`
+		IndexExtendNS      int64 `json:"index_extend_ns"`
+		Shrinks            int64 `json:"shrinks"`
+		ReclaimsBackground int64 `json:"reclaims_background"`
+		Reprepares         int64 `json:"reprepares"`
+		ResidentBytes      int64 `json:"resident_bytes"` // gauge: accounted artifact bytes
+		MemBudget          int64 `json:"mem_budget"`     // configured budget (0 = ungoverned)
+		InstanceHits       int64 `json:"instance_hits"`
+		PrefixHits         int64 `json:"prefix_hits"`
+		InstanceMisses     int64 `json:"instance_misses"`
+		SingleflightWaits  int64 `json:"singleflight_waits"`
+		InstanceEvictions  int64 `json:"instance_evictions"`
+		Instances          int   `json:"instances"`
+		LayoutHits         int64 `json:"layout_hits"`
+		LayoutMisses       int64 `json:"layout_misses"`
+		Layouts            int   `json:"layouts"`
 	} `json:"registry"`
 	Jobs struct {
 		Submitted int64 `json:"submitted"`
@@ -86,10 +111,18 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Solves.Inflight = m.inflightSolves.Load()
 	s.Solves.Total = m.solvesTotal.Load()
 	s.Solves.Errors = m.solveErrors.Load()
+	s.Server.ShedTotal = m.shedTotal.Load()
+	s.Server.PanicsTotal = m.panicsTotal.Load()
+	s.Server.DegradedSolves = m.degradedSolves.Load()
+	s.Server.Inflight.Solve = m.inflightSolves.Load()
+	s.Server.Inflight.Estimate = m.inflightEstimates.Load()
+	s.Server.Inflight.Simulate = m.inflightSimulates.Load()
 	s.Registry.Prepares = m.prepares.Load()
 	s.Registry.Extends = m.extends.Load()
 	s.Registry.IndexExtendNS = m.indexExtendNS.Load()
 	s.Registry.Shrinks = m.shrinks.Load()
+	s.Registry.ReclaimsBackground = m.reclaimsBackground.Load()
+	s.Registry.Reprepares = m.reprepares.Load()
 	s.Registry.InstanceHits = m.instanceHits.Load()
 	s.Registry.PrefixHits = m.prefixHits.Load()
 	s.Registry.InstanceMisses = m.instanceMisses.Load()

@@ -9,8 +9,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oipa/internal/core"
+	"oipa/internal/faultpoint"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
 	"oipa/internal/rrset"
@@ -158,6 +160,15 @@ type entry struct {
 
 	grow chan struct{}
 	art  atomic.Pointer[Artifact]
+
+	// poisoned marks an entry whose growth step panicked: the published
+	// snapshot (bounded at its own θ) is still perfectly servable, but
+	// the entry's unpublished growth state — a collection possibly
+	// abandoned mid-sample — must never be grown from again. The next
+	// request that needs a larger θ rebuilds the entry from scratch
+	// under the grow lock (reprepareEntry), and the governor's shrink
+	// pass skips it.
+	poisoned atomic.Bool
 }
 
 func newEntry(key instanceKey, lastUse int64, theta int) *entry {
@@ -208,6 +219,15 @@ type Registry struct {
 
 	resident   atomic.Int64
 	reclaiming atomic.Bool
+
+	// Background governor tick (startGovernor): a timer-driven reclaim
+	// pass so an idle-but-over-budget registry shrinks without waiting
+	// for a request to push it. lastTickClock (guarded by mu) detects
+	// idleness between ticks.
+	govQuit       chan struct{}
+	govDone       chan struct{}
+	govStop       sync.Once
+	lastTickClock int64
 
 	m *metrics
 }
@@ -300,8 +320,16 @@ func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta 
 		}
 		return nil, OutcomeHit, e.err
 	}
-	return r.serveEntry(ctx, e, theta)
+	return r.serveEntry(ctx, e, campaign, theta, seed)
 }
+
+// panicError carries a panic recovered inside the serve tier (registry
+// growth, job runner, handler middleware) as an ordinary error: the
+// triggering request is answered with a 500, panics_total counts it,
+// and the process keeps serving.
+type panicError struct{ val interface{} }
+
+func (e panicError) Error() string { return fmt.Sprintf("serve: internal panic: %v", e.val) }
 
 // errPrepareAborted closes an entry whose owning request was canceled
 // before the preparation ran. It is never returned to callers: the owner
@@ -332,7 +360,7 @@ func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Ca
 		// error — their own contexts may be perfectly healthy.
 		return fail(errPrepareAborted, err)
 	}
-	inst, err := r.prepare(campaign, theta, seed)
+	inst, err := r.prepareContained(ctx, campaign, theta, seed)
 	if err != nil {
 		return fail(err, err)
 	}
@@ -344,8 +372,11 @@ func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Ca
 }
 
 // serveEntry resolves a request against a ready entry: serve the current
-// snapshot (exact or as a θ-prefix), or grow it.
-func (r *Registry) serveEntry(ctx context.Context, e *entry, theta int) (*Artifact, Outcome, error) {
+// snapshot (exact or as a θ-prefix — valid even on a poisoned entry,
+// snapshots are immutable and bounded at their own θ), or grow it. A
+// poisoned entry that needs growth is rebuilt from scratch instead —
+// its unpublished growth state cannot be trusted after a panic.
+func (r *Registry) serveEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
 	if a, outcome, ok := serveSnapshot(e.art.Load(), theta); ok {
 		r.countServe(outcome)
 		return a, outcome, nil
@@ -370,20 +401,75 @@ func (r *Registry) serveEntry(ctx context.Context, e *entry, theta int) (*Artifa
 	if err := ctx.Err(); err != nil {
 		return nil, OutcomeExtend, err
 	}
+	if e.poisoned.Load() {
+		return r.reprepareEntry(ctx, e, campaign, theta, seed)
+	}
 	a := e.art.Load()
-	inst, err := a.inst.ExtendTo(theta)
+	na, err := r.growContained(ctx, e, a, theta)
 	if err != nil {
 		// The old snapshot is untouched and stays published; a later
-		// request may retry the growth.
+		// request may retry the growth (or, after a panic, trigger the
+		// re-prepare path above).
 		return nil, OutcomeExtend, err
+	}
+	e.art.Store(na)
+	r.account(e, na.inst.MemUsage())
+	return na, OutcomeExtend, nil
+}
+
+// growContained runs one growth step with panic containment. A panic
+// anywhere in the step — delta sampling, the chaos hooks, the index
+// extension — poisons the entry and surfaces as a panicError on the
+// triggering request; the grow lock is released by serveEntry's defer
+// during the normal (non-)unwind, the published snapshot keeps serving
+// every θ at or below its own, and the next growth request rebuilds the
+// entry from scratch. An ordinary error (including ctx expiry between
+// sample blocks) leaves the entry healthy: partial growth is consistent
+// and unpublished, so a retry resumes where it stopped.
+func (r *Registry) growContained(ctx context.Context, e *entry, a *Artifact, theta int) (na *Artifact, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.m.panicsTotal.Add(1)
+			e.poisoned.Store(true)
+			na, err = nil, panicError{val: p}
+		}
+	}()
+	inst, err := a.inst.ExtendToCtx(ctx, theta)
+	if err != nil {
+		return nil, err
+	}
+	// Chaos hook: a fault between the finished growth and the publish.
+	// In error mode the grown state simply stays unpublished (a retry
+	// re-extends — a no-op over the already-grown collection — and
+	// publishes); in panic mode the recover above poisons the entry.
+	if err := faultpoint.Hit("registry.grow.publish"); err != nil {
+		return nil, err
 	}
 	r.m.extends.Add(1)
 	r.m.indexExtendNS.Add(inst.IndexTime.Nanoseconds())
 	a.evals.EnsureTheta(theta)
-	na := &Artifact{theta: theta, inst: inst, evals: a.evals}
+	return &Artifact{theta: theta, inst: inst, evals: a.evals}, nil
+}
+
+// reprepareEntry rebuilds a poisoned entry from scratch while holding
+// its grow lock: a fresh preparation at the requested θ (which is above
+// the snapshot's θ — smaller requests were already served off the
+// snapshot), published with a fresh evaluator pool. Sampling is
+// deterministic in (campaign, seed, i), so the rebuilt artifact is
+// bit-identical to one prepared on a server that never panicked — the
+// chaos suite pins exactly this. On failure the entry stays poisoned
+// and its snapshot keeps serving.
+func (r *Registry) reprepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+	inst, err := r.prepareContained(ctx, campaign, theta, seed)
+	if err != nil {
+		return nil, OutcomeMiss, err
+	}
+	na := &Artifact{theta: theta, inst: inst, evals: core.NewEvaluatorPool(inst)}
 	e.art.Store(na)
+	e.poisoned.Store(false)
+	r.m.reprepares.Add(1)
 	r.account(e, inst.MemUsage())
-	return na, OutcomeExtend, nil
+	return na, OutcomeMiss, nil
 }
 
 // account books the entry's current artifact at bytes, adjusting the
@@ -424,11 +510,32 @@ func (r *Registry) countServe(outcome Outcome) {
 	}
 }
 
+// prepareContained is prepare with panic containment and the
+// "registry.prepare" chaos hook: a panic inside the preparation is
+// recovered, counted, and returned as a panicError so the calling
+// request fails with a 500 while every waiter fails fast on the same
+// error — and the process keeps serving.
+func (r *Registry) prepareContained(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (inst *core.Instance, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.m.panicsTotal.Add(1)
+			inst, err = nil, panicError{val: p}
+		}
+	}()
+	if err := faultpoint.Hit("registry.prepare"); err != nil {
+		return nil, err
+	}
+	return r.prepare(ctx, campaign, theta, seed)
+}
+
 // prepare materializes the artifact: layouts through the shared layout
 // cache (so campaigns overlapping in pieces share them), then the
-// reentrant core.PrepareLayouts. The budget placeholder k=1 is never
-// used directly — request handlers derive WithK copies.
-func (r *Registry) prepare(campaign topic.Campaign, theta int, seed uint64) (*core.Instance, error) {
+// reentrant core.PrepareLayoutsCtx — the sampling pass honors ctx at
+// sample-block granularity, so an expired request deadline abandons the
+// build instead of finishing work nobody will read. The budget
+// placeholder k=1 is never used directly — request handlers derive
+// WithK copies.
+func (r *Registry) prepare(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (*core.Instance, error) {
 	layouts := make([]*graph.PieceLayout, campaign.L())
 	for j, piece := range campaign.Pieces {
 		lay, err := r.layouts.Get(piece.Dist)
@@ -445,7 +552,7 @@ func (r *Registry) prepare(campaign topic.Campaign, theta int, seed uint64) (*co
 		Model:    r.model,
 	}
 	r.m.prepares.Add(1)
-	return core.PrepareLayouts(prob, layouts, theta, seed)
+	return core.PrepareLayoutsCtx(ctx, prob, layouts, theta, seed)
 }
 
 // maybeReclaim runs the pressure policy when the resident bytes exceed
@@ -458,6 +565,69 @@ func (r *Registry) maybeReclaim() {
 	if r.budget <= 0 || r.resident.Load() <= r.budget {
 		return
 	}
+	r.reclaimPass(false)
+}
+
+// startGovernor launches the background reclaim tick: a registry left
+// idle after a burst never advances its request clock, so the normal
+// (request-driven) epoch rotation and eviction predicates would hold
+// its over-budget artifacts resident forever. The tick runs a reclaim
+// pass on a timer; with the registry idle since the previous tick it
+// forces the epoch rotation, so demand ages out on wall-clock time —
+// two idle ticks take a hot entry to fully cold and evictable. No-op
+// without a budget or with a non-positive tick.
+func (r *Registry) startGovernor(tick time.Duration) {
+	if r.budget <= 0 || tick <= 0 {
+		return
+	}
+	r.govQuit = make(chan struct{})
+	r.govDone = make(chan struct{})
+	go func() {
+		defer close(r.govDone)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.govQuit:
+				return
+			case <-t.C:
+				r.backgroundTick()
+			}
+		}
+	}()
+}
+
+// stopGovernor stops the background tick and waits for it to exit.
+// Idempotent; a no-op if the governor never started.
+func (r *Registry) stopGovernor() {
+	if r.govQuit == nil {
+		return
+	}
+	r.govStop.Do(func() { close(r.govQuit) })
+	<-r.govDone
+}
+
+// backgroundTick is one timer-driven governor pass (reclaims_background
+// counts them). It only acts over budget, and forces the epoch rotation
+// only when no request arrived since the previous tick — traffic keeps
+// the request-driven policy authoritative.
+func (r *Registry) backgroundTick() {
+	if r.resident.Load() <= r.budget {
+		return
+	}
+	r.mu.Lock()
+	idle := r.clock == r.lastTickClock
+	r.lastTickClock = r.clock
+	r.mu.Unlock()
+	r.m.reclaimsBackground.Add(1)
+	r.reclaimPass(idle)
+}
+
+// reclaimPass is one pressure-policy pass; force (the idle background
+// tick) rotates the recency epoch unconditionally and widens pass 2 to
+// entries whose demand has fully aged out of the window, so reclaim
+// converges without request-clock progress.
+func (r *Registry) reclaimPass(force bool) {
 	if !r.reclaiming.CompareAndSwap(false, true) {
 		return
 	}
@@ -476,7 +646,7 @@ func (r *Registry) maybeReclaim() {
 	}
 	var cands []candidate
 	r.mu.Lock()
-	rotate := r.clock-r.epochClock >= r.epochWindow
+	rotate := force || r.clock-r.epochClock >= r.epochWindow
 	if rotate {
 		r.epochClock = r.clock
 	}
@@ -516,7 +686,15 @@ func (r *Registry) maybeReclaim() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for r.resident.Load() > r.budget {
-		if !r.evictColdestLocked(func(e *entry) bool { return e.lastUse <= r.clock-r.epochWindow }) {
+		if !r.evictColdestLocked(func(e *entry) bool {
+			if e.lastUse <= r.clock-r.epochWindow {
+				return true
+			}
+			// Idle tick: the request clock is frozen, so lastUse can
+			// never age past the window — once forced rotations have
+			// drained both epoch maxima the demand is provably stale.
+			return force && e.curMax == 0 && e.prevMax == 0
+		}) {
 			return
 		}
 	}
@@ -568,6 +746,11 @@ func (r *Registry) shrinkEntry(e *entry, target int) {
 		return
 	}
 	defer func() { <-e.grow }()
+	if e.poisoned.Load() {
+		// Post-panic growth state is suspect; the entry is rebuilt (or
+		// evicted) rather than re-materialized from it.
+		return
+	}
 	// Requests may have raised the entry's recent demand between
 	// candidate collection and here; shrinking below it would regrow
 	// samples the entry just had resident. Re-read the window max.

@@ -451,7 +451,13 @@ func TestSolveAscendingThetaOverHTTP(t *testing.T) {
 // goroutines solving different campaigns over shared layouts; run under
 // -race this is the serve subsystem's data-race canary.
 func TestConcurrentSolvesDistinctCampaigns(t *testing.T) {
-	s := testServer(t, func(c *Config) { c.InstanceCapacity = 16 })
+	s := testServer(t, func(c *Config) {
+		c.InstanceCapacity = 16
+		// Admission headroom for the full 18-goroutine burst on small
+		// GOMAXPROCS boxes: this test exercises registry sharing, not
+		// overload shedding (robust_test.go covers that).
+		c.AdmitQueue = 64
+	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -40,14 +40,35 @@
 //	                   (DELETE cancels: queued jobs are dropped, running
 //	                   solves stop at the next node expansion and return
 //	                   their incumbent)
-//	GET  /healthz      liveness + graph shape
+//	GET  /healthz      liveness + graph shape (stays 200 through a drain)
+//	GET  /readyz       readiness: 503 once draining began
 //	GET  /metrics      request/cache/job counters (also publishable via
 //	                   expvar, see Server.PublishExpvar)
+//
+// # Overload safety
+//
+// The heavy endpoints (solve, estimate, simulate) pass through a
+// weighted admission semaphore with a bounded wait queue before doing
+// any registry or solver work; beyond the queue — or once a request's
+// deadline expires while still in line — the request is shed with a
+// 429 and Retry-After, having cost the server nothing. Every request
+// carries a deadline (client timeout_ms capped by Config.RequestTimeout)
+// wired through the registry's sampling loops and into the solvers'
+// Stop hook: a solve whose deadline expires mid-search returns its
+// current incumbent and upper bound marked "degraded" rather than
+// failing. Panics anywhere in a handler, job runner, or registry
+// growth are contained (panics_total): a panic mid-growth poisons only
+// that entry — its last published snapshot keeps serving and the next
+// request that needs more samples rebuilds it from scratch,
+// bit-identical to a fresh preparation. Shutdown drains gracefully:
+// readiness flips, new heavy work is refused with 503, queued jobs are
+// canceled, and in-flight solves run to completion within the grace.
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -57,6 +78,7 @@ import (
 
 	"oipa/internal/cascade"
 	"oipa/internal/core"
+	"oipa/internal/faultpoint"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
 	"oipa/internal/topic"
@@ -87,9 +109,30 @@ type Config struct {
 	// are eviction candidates.
 	MemEpoch int
 
+	// MemTick is the background governor period (default 30s; negative
+	// disables): with a MemBudget set, a timer runs the reclaim policy
+	// so an idle-but-over-budget registry shrinks without waiting for a
+	// request (reclaims_background counts the passes).
+	MemTick time.Duration
+
 	Workers    int // async solve workers (default GOMAXPROCS)
 	QueueDepth int // async backlog bound (default 64)
 	JobHistory int // finished jobs retained for polling (default 256)
+
+	// RequestTimeout caps — and, for clients that send no timeout_ms,
+	// defaults — the execution deadline of every heavy request (default
+	// 30s). The deadline is honored at sample-block granularity inside
+	// the registry and through the solvers' Stop hook: an expiring solve
+	// degrades to its incumbent instead of failing.
+	RequestTimeout time.Duration
+	// AdmitCapacity sizes the weighted admission semaphore shared by the
+	// heavy endpoints (solve and simulate weigh 2, estimate 1; default
+	// 2×GOMAXPROCS units).
+	AdmitCapacity int
+	// AdmitQueue bounds the admission wait queue (default 4×capacity;
+	// negative means no queue): requests beyond it — or whose deadline
+	// expires while queued — are shed with 429 + Retry-After.
+	AdmitQueue int
 }
 
 func (c *Config) fillDefaults() {
@@ -114,6 +157,9 @@ func (c *Config) fillDefaults() {
 	if c.MemEpoch <= 0 {
 		c.MemEpoch = 64
 	}
+	if c.MemTick == 0 {
+		c.MemTick = 30 * time.Second
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -122,6 +168,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.AdmitCapacity <= 0 {
+		c.AdmitCapacity = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.AdmitQueue == 0 {
+		c.AdmitQueue = 4 * c.AdmitCapacity
+	}
+	if c.AdmitQueue < 0 {
+		c.AdmitQueue = 0
 	}
 }
 
@@ -135,6 +193,9 @@ type Server struct {
 	jobs *jobQueue
 	mux  *http.ServeMux
 	m    metrics
+
+	admit    *admission // weighted overload valve for the heavy endpoints
+	inflight drainGroup // admitted-request tracking for graceful drain
 }
 
 // New validates the configuration and assembles the service.
@@ -151,8 +212,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, g: cfg.Graph}
 	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, cfg.MemBudget, cfg.MemEpoch, &s.m)
+	s.reg.startGovernor(cfg.MemTick)
 	s.jobs = newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.JobHistory, &s.m)
 	s.jobs.run = s.runJob
+	s.admit = newAdmission(int64(cfg.AdmitCapacity), cfg.AdmitQueue)
 	s.routes()
 	return s, nil
 }
@@ -164,8 +227,31 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // inspect cache state through it).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Close stops the async workers and cancels queued and running jobs.
-func (s *Server) Close() { s.jobs.close() }
+// Close stops the async workers and cancels queued and running jobs —
+// the immediate, ungraceful stop. Prefer Shutdown for serving processes.
+func (s *Server) Close() {
+	s.reg.stopGovernor()
+	s.jobs.close()
+}
+
+// Shutdown drains the service gracefully: readiness flips to draining
+// immediately (load balancers stop routing, /readyz turns 503), new
+// heavy requests are refused with 503, jobs still waiting in the
+// backlog are canceled, and Shutdown waits — bounded by ctx — first for
+// running jobs, then for in-flight synchronous requests, to complete.
+// Expired grace hard-cancels what remains (solvers stop at their next
+// node expansion) and is reported as an error. The HTTP listener is the
+// caller's to stop: call http.Server.Shutdown after this returns so
+// completed responses still flush.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inflight.beginDrain()
+	s.reg.stopGovernor()
+	err := s.jobs.drain(ctx)
+	if e := s.inflight.drain(ctx); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
 
 // Metrics snapshots every service counter plus the registry gauges.
 func (s *Server) Metrics() MetricsSnapshot {
@@ -176,6 +262,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.Registry.LayoutHits, snap.Registry.LayoutMisses = s.reg.Layouts().Stats()
 	snap.Registry.Layouts = s.reg.Layouts().Len()
 	snap.Jobs.Queued = s.jobs.queued()
+	snap.Server.AdmitQueued = s.admit.queued()
+	snap.Server.Draining = s.inflight.isDraining()
 	return snap
 }
 
@@ -189,14 +277,35 @@ func (s *Server) PublishExpvar(name string) {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/v1/solve", s.handleSolve)
-	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/healthz", s.withRecover(s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.withRecover(s.handleReadyz))
+	s.mux.HandleFunc("/metrics", s.withRecover(s.handleMetrics))
+	s.mux.HandleFunc("/v1/solve", s.withRecover(s.handleSolve))
+	s.mux.HandleFunc("/v1/estimate", s.withRecover(s.handleEstimate))
+	s.mux.HandleFunc("/v1/simulate", s.withRecover(s.handleSimulate))
+	s.mux.HandleFunc("/v1/jobs", s.withRecover(s.handleJobs))
+	s.mux.HandleFunc("/v1/jobs/", s.withRecover(s.handleJob))
 	s.mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// withRecover is the panic-isolation middleware: a panic anywhere in a
+// handler is recovered, counted (panics_total), and answered as a 500 —
+// one poisoned request must never take down the process. The net/http
+// abort sentinel is re-raised so deliberate connection aborts keep
+// working.
+func (s *Server) withRecover(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.m.panicsTotal.Add(1)
+				s.error(w, http.StatusInternalServerError, panicError{val: p})
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // ---- request / response types ----
@@ -214,6 +323,14 @@ type SolveRequest struct {
 	Alpha     float64        `json:"alpha"`     // adoption model override (0 = server default)
 	Beta      float64        `json:"beta"`
 	Async     bool           `json:"async"` // enqueue instead of solving inline
+	// TimeoutMS is the client's execution deadline in milliseconds,
+	// capped by the server's RequestTimeout (which also applies when the
+	// field is omitted). An expiring solve returns its incumbent marked
+	// degraded; a deadline spent entirely in the admission queue sheds
+	// the request with 429 before any work runs. Ignored for async
+	// submissions (jobs are bounded by the worker pool and canceled
+	// explicitly).
+	TimeoutMS int `json:"timeout_ms"`
 }
 
 // SolveResponse is the body of a completed solve (inline or via job).
@@ -241,17 +358,23 @@ type SolveResponse struct {
 	// PreparedTheta: the sample count of the backing artifact (>= Theta
 	// when served from a prefix).
 	PreparedTheta int `json:"prepared_theta,omitempty"`
+	// Degraded: the request's deadline expired mid-search and the solver
+	// returned early. Utility is still a valid incumbent (the plan was
+	// fully evaluated) and Upper a true residual bound — the answer is
+	// coarser, not wrong.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate: MRR-estimate the
 // adoption utility of an explicit plan. Seeds may be any graph node.
 type EstimateRequest struct {
-	Campaign topic.Campaign `json:"campaign"`
-	Plan     [][]int32      `json:"plan"`
-	Theta    int            `json:"theta"`
-	Seed     uint64         `json:"seed"`
-	Alpha    float64        `json:"alpha"`
-	Beta     float64        `json:"beta"`
+	Campaign  topic.Campaign `json:"campaign"`
+	Plan      [][]int32      `json:"plan"`
+	Theta     int            `json:"theta"`
+	Seed      uint64         `json:"seed"`
+	Alpha     float64        `json:"alpha"`
+	Beta      float64        `json:"beta"`
+	TimeoutMS int            `json:"timeout_ms"` // see SolveRequest.TimeoutMS
 }
 
 // EstimateResponse is the body of a completed estimate.
@@ -268,12 +391,13 @@ type EstimateResponse struct {
 // ground truth for an explicit plan (no MRR sampling involved — only the
 // layout cache is consulted).
 type SimulateRequest struct {
-	Campaign topic.Campaign `json:"campaign"`
-	Plan     [][]int32      `json:"plan"`
-	Runs     int            `json:"runs"` // default 10000
-	Seed     uint64         `json:"seed"`
-	Alpha    float64        `json:"alpha"`
-	Beta     float64        `json:"beta"`
+	Campaign  topic.Campaign `json:"campaign"`
+	Plan      [][]int32      `json:"plan"`
+	Runs      int            `json:"runs"` // default 10000
+	Seed      uint64         `json:"seed"`
+	Alpha     float64        `json:"alpha"`
+	Beta      float64        `json:"beta"`
+	TimeoutMS int            `json:"timeout_ms"` // admission-queue deadline; the simulation itself is not interruptible
 }
 
 // SimulateResponse is the body of a completed simulation.
@@ -294,8 +418,87 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, split from liveness: it turns
+// 503 the moment a drain begins (or the job queue stops accepting), so
+// load balancers stop routing while /healthz keeps answering 200 and
+// orchestrators don't kill a process that is finishing its in-flight
+// work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.inflight.isDraining() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ready",
+		"graph":  map[string]int{"n": s.g.N(), "m": s.g.M(), "z": s.g.Z()},
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// deadline derives a heavy request's execution context: the client's
+// timeout_ms capped by Config.RequestTimeout, which also serves as the
+// default when the client sends none.
+func (s *Server) deadline(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// acquireSlot brackets one heavy request: refuse when draining (503),
+// acquire the endpoint class's weight from the admission semaphore —
+// shedding (429) when the wait queue overflows or the deadline expires
+// in line — and shed work whose deadline is already gone at grant time.
+// On nil error the caller must invoke the returned release when done.
+func (s *Server) acquireSlot(ctx context.Context, weight int64) (func(), error) {
+	if err := s.inflight.enter(); err != nil {
+		return nil, err
+	}
+	if err := s.admit.acquire(ctx, weight); err != nil {
+		s.inflight.leave()
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		s.admit.release(weight)
+		s.inflight.leave()
+		return nil, fmt.Errorf("%w: deadline expired at admission: %v", errShed, err)
+	}
+	return func() {
+		s.admit.release(weight)
+		s.inflight.leave()
+	}, nil
+}
+
+// failRequest maps a heavy-path failure onto the transport: shed work →
+// 429 + Retry-After (nothing ran; an immediate retry elsewhere is
+// safe), a deadline that expired mid-work → 503 + Retry-After (both
+// count shed_total), draining → 503, a contained panic → 500, anything
+// else → 400 (a request problem).
+func (s *Server) failRequest(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShed):
+		s.m.shedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.shedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "5")
+		s.error(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &panicError{}):
+		s.error(w, http.StatusInternalServerError, err)
+	default:
+		s.error(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -317,9 +520,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]string{"job": id, "poll": "/v1/jobs/" + id})
 		return
 	}
-	resp, err := s.solve(r.Context(), req, r.Context().Done())
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquireSlot(ctx, weightSolve)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err)
+		s.failRequest(w, err)
+		return
+	}
+	defer release()
+	resp, err := s.solve(ctx, req, ctx.Done())
+	if err != nil {
+		s.failRequest(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -346,9 +557,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	art, outcome, err := s.reg.Instance(r.Context(), req.Campaign, req.Theta, req.Seed)
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquireSlot(ctx, weightEstimate)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err)
+		s.failRequest(w, err)
+		return
+	}
+	defer release()
+	s.m.inflightEstimates.Add(1)
+	defer s.m.inflightEstimates.Add(-1)
+	art, outcome, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
+	if err != nil {
+		s.failRequest(w, err)
 		return
 	}
 	est := art.estimator()
@@ -393,6 +614,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquireSlot(ctx, weightSimulate)
+	if err != nil {
+		s.failRequest(w, err)
+		return
+	}
+	defer release()
+	s.m.inflightSimulates.Add(1)
+	defer s.m.inflightSimulates.Add(-1)
 	layouts := make([]*graph.PieceLayout, req.Campaign.L())
 	for j, piece := range req.Campaign.Pieces {
 		lay, err := s.reg.Layouts().Get(piece.Dist)
@@ -492,6 +723,12 @@ func (s *Server) model(alpha, beta float64) (logistic.Model, error) {
 // wired into the branch-and-bound search (request cancellation / job
 // cancellation); ctx bounds the registry wait and the growth path.
 func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct{}) (*SolveResponse, error) {
+	// Chaos hook: a fault before any registry work — a delay here holds
+	// the request's admission slot, which is how the chaos suite
+	// saturates the overload valve.
+	if err := faultpoint.Hit("serve.solve.pre"); err != nil {
+		return nil, err
+	}
 	art, outcome, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
 	if err != nil {
 		return nil, err
@@ -523,6 +760,12 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		Stop:           stop,
 	}
 
+	// Chaos hook: a fault between artifact acquisition and the solver
+	// dispatch — a delay here burns the request's deadline so the solver
+	// below starts with Stop already fired and degrades immediately.
+	if err := faultpoint.Hit("serve.solve.dispatch"); err != nil {
+		return nil, err
+	}
 	s.m.inflightSolves.Add(1)
 	defer s.m.inflightSolves.Add(-1)
 	s.m.solvesTotal.Add(1)
@@ -542,6 +785,19 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	if err != nil {
 		s.m.solveErrors.Add(1)
 		return nil, err
+	}
+	// Graceful degradation: the deadline expired but the search still
+	// produced a valid incumbent via its Stop hook (BAB seeds the root
+	// with a fully evaluated greedy plan before the first expansion, so
+	// even an immediately-stopped solve answers). IM/TIM ignore Stop and
+	// ran to completion — their results are never degraded.
+	degraded := false
+	if ctx.Err() != nil {
+		switch req.Method {
+		case "bab", "babp", "greedy":
+			degraded = true
+			s.m.degradedSolves.Add(1)
+		}
 	}
 
 	pieces := make([]string, req.Campaign.L())
@@ -571,6 +827,7 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		PrefixHit:     outcome == OutcomePrefix,
 		Extended:      outcome == OutcomeExtend,
 		PreparedTheta: art.Theta(),
+		Degraded:      degraded,
 	}, nil
 }
 
