@@ -98,31 +98,59 @@ type saturation struct {
 	MetricPanics int64   `json:"metric_panics_total"`
 }
 
+// sketchReport characterizes the bottom-k sketch estimator against the
+// exact scan at the report's θ: the relative-error distribution over a
+// spread of pool-member plans, the measured speedup of the sketch
+// benchmark over the exact-scan benchmark, and the cumulative index
+// growth time of a sketch-carrying registry walking the same ascending-θ
+// ladder as theta_ascend (the sketch's maintenance overhead on
+// Index.ExtendFrom, measured back-to-back in the same process so the
+// on/off comparison shares whatever noise the machine has).
+type sketchReport struct {
+	K              int     `json:"k"`
+	Theta          int     `json:"theta"`
+	Plans          int     `json:"plans"`
+	RelErrP50      float64 `json:"rel_err_p50"`
+	RelErrP95      float64 `json:"rel_err_p95"`
+	RelErrMax      float64 `json:"rel_err_max"`
+	SpeedupVsExact float64 `json:"speedup_vs_exact"`
+	ExtendNS       int64   `json:"index_extend_sketch_ns"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
 	Generated  string  `json:"generated"`
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
-	Scale      float64 `json:"scale"`
-	Theta      int     `json:"theta"`
-	Graph      struct {
+	// DegenerateParallelism flags a report generated with GOMAXPROCS=1:
+	// every parallel section (index build/extend shards, evaluator pools,
+	// the saturation burst) ran serialized, so absolute numbers are NOT
+	// comparable to multi-core runs and run-to-run noise is much higher
+	// (no parallel averaging). Compare such reports only against other
+	// single-core runs.
+	DegenerateParallelism bool    `json:"degenerate_parallelism,omitempty"`
+	Scale                 float64 `json:"scale"`
+	Theta                 int     `json:"theta"`
+	Graph                 struct {
 		N int `json:"n"`
 		M int `json:"m"`
 		Z int `json:"z"`
 	} `json:"graph"`
-	Benchmarks  []result     `json:"benchmarks"`
-	ThetaAscend *thetaAscend `json:"theta_ascend,omitempty"`
-	Saturation  *saturation  `json:"saturation,omitempty"`
+	Benchmarks  []result      `json:"benchmarks"`
+	Sketch      *sketchReport `json:"sketch,omitempty"`
+	ThetaAscend *thetaAscend  `json:"theta_ascend,omitempty"`
+	Saturation  *saturation   `json:"saturation,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oipa-bench: ")
 	var (
-		out   = flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
-		scale = flag.Float64("scale", 1.0, "lastfm dataset scale")
-		theta = flag.Int("theta", 50_000, "MRR samples for sampling/solve benchmarks")
-		k     = flag.Int("k", 10, "solve budget")
+		out     = flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+		scale   = flag.Float64("scale", 1.0, "lastfm dataset scale")
+		theta   = flag.Int("theta", 50_000, "MRR samples for sampling/solve benchmarks")
+		k       = flag.Int("k", 10, "solve budget")
+		sketchK = flag.Int("sketch-k", 256, "bottom-k sketch size for the sketch benchmarks (0 disables the sketch section)")
 	)
 	flag.Parse()
 
@@ -165,13 +193,17 @@ func main() {
 	}
 
 	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      *scale,
-		Theta:      *theta,
+		Generated:             time.Now().UTC().Format(time.RFC3339),
+		GoVersion:             runtime.Version(),
+		GOMAXPROCS:            runtime.GOMAXPROCS(0),
+		DegenerateParallelism: runtime.GOMAXPROCS(0) == 1,
+		Scale:                 *scale,
+		Theta:                 *theta,
 	}
 	rep.Graph.N, rep.Graph.M, rep.Graph.Z = g.N(), g.M(), g.Z()
+	if rep.DegenerateParallelism {
+		log.Printf("WARNING: GOMAXPROCS=1 — degenerate parallelism; absolute numbers are not comparable to multi-core runs and noise is elevated")
+	}
 
 	run := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
@@ -244,6 +276,39 @@ func main() {
 		}
 	})
 
+	// Bottom-k sketch estimator: O(k·|plan|) per estimate, independent of
+	// θ, against the θ-proportional exact scan above. Sketches attach
+	// AFTER every exact benchmark ran, so those rows are untouched.
+	if *sketchK > 0 {
+		if err := inst.Index.AttachSketches(*sketchK); err != nil {
+			log.Fatal(err)
+		}
+		sks := rrset.NewSketchScratch()
+		run("estimate_au_sketch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Index.EstimateAUSketchWith(greedy.Plan.Seeds, prob.Model, sks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Sketch = sketchErrors(inst, prob.Model, pool, campaign.L(), *sketchK, *theta)
+		var exactNS, sketchNS float64
+		for _, r := range rep.Benchmarks {
+			switch r.Name {
+			case "estimate_au_view":
+				exactNS = r.NsPerOp
+			case "estimate_au_sketch":
+				sketchNS = r.NsPerOp
+			}
+		}
+		if sketchNS > 0 {
+			rep.Sketch.SpeedupVsExact = exactNS / sketchNS
+		}
+		log.Printf("sketch: k=%d speedup %.1fx over exact scan; rel err p50 %.4f p95 %.4f max %.4f over %d plans",
+			*sketchK, rep.Sketch.SpeedupVsExact, rep.Sketch.RelErrP50, rep.Sketch.RelErrP95, rep.Sketch.RelErrMax, rep.Sketch.Plans)
+	}
+
 	// θ-monotone registry: walk one campaign through ascending θ via a
 	// serve registry and record the per-step economics, then benchmark
 	// the prefix-hit path (a smaller-θ request against the grown entry).
@@ -289,6 +354,32 @@ func main() {
 	ascend.IndexExtendNS = snap.Registry.IndexExtendNS
 	rep.ThetaAscend = ascend
 
+	// Back-to-back sketch-on growth walk: the same ascending-θ ladder
+	// against a sketch-carrying registry, in the same process, so the
+	// sketch's ExtendFrom maintenance overhead is measured under the same
+	// machine noise as the plain walk above.
+	if rep.Sketch != nil {
+		ssrv, err := serve.New(serve.Config{
+			Graph:        g,
+			Pool:         pool,
+			Model:        prob.Model,
+			DefaultTheta: *theta,
+			MaxTheta:     4 * *theta,
+			SketchK:      *sketchK,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, th := range []int{*theta / 4, *theta / 2, *theta} {
+			if _, _, err := ssrv.Registry().Instance(ctx, campaign, th, 2); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rep.Sketch.ExtendNS = ssrv.Metrics().Registry.IndexExtendNS
+		ssrv.Close()
+		log.Printf("sketch: index_extend_sketch_ns=%d (plain walk: %d)", rep.Sketch.ExtendNS, ascend.IndexExtendNS)
+	}
+
 	run("registry_prefix_hit", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -313,6 +404,59 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+}
+
+// sketchErrors measures the sketch estimator's relative error against
+// the exact index scan over a spread of deterministic pool-member plans
+// (varied sizes per piece, the solver-scale regime the sketch serves).
+func sketchErrors(inst *core.Instance, model logistic.Model, pool []int32, l, k, theta int) *sketchReport {
+	const plans = 24
+	r := xrand.New(12345)
+	sks := rrset.NewSketchScratch()
+	errs := make([]float64, 0, plans)
+	for ps := 0; ps < plans; ps++ {
+		plan := make([][]int32, l)
+		for j := range plan {
+			size := 4 + r.Intn(8)
+			if size > len(pool) {
+				size = len(pool)
+			}
+			seeds := make([]int32, 0, size)
+			for _, p := range r.Sample(len(pool), size) {
+				seeds = append(seeds, pool[p])
+			}
+			plan[j] = seeds
+		}
+		exact, err := inst.Index.EstimateAU(plan, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, err := inst.Index.EstimateAUSketchWith(plan, model, sks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if exact > 0 {
+			errs = append(errs, abs(approx-exact)/exact)
+		}
+	}
+	rep := &sketchReport{
+		K:         k,
+		Theta:     theta,
+		Plans:     len(errs),
+		RelErrP50: percentile(errs, 0.50),
+		RelErrP95: percentile(errs, 0.95),
+	}
+	if len(errs) > 0 {
+		rep.RelErrMax = errs[len(errs)-1] // percentile sorted the slice
+	}
+	return rep
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // saturate drives a dedicated serve instance well past its admission

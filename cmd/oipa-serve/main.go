@@ -46,6 +46,7 @@ func main() {
 		maxTheta  = flag.Int("maxtheta", 2_000_000, "reject requests above this many samples")
 		layouts   = flag.Int("layouts", 128, "piece-layout cache capacity")
 		instances = flag.Int("instances", 8, "prepared-instance cache capacity")
+		sketchK   = flag.Int("sketch-k", 0, "bottom-k coverage sketch size attached to prepared indexes (0 = disabled): estimates and interior solve evaluations at theta >= 8k are served from the sketch in O(k) per seed, with exact-scan fallback and exact re-verification of published utilities")
 		memBudget = flag.Int64("mem-budget", 0, "soft resident-bytes budget for prepared artifacts (0 = ungoverned): over budget, cold grown entries are theta-shrunk to their recently requested theta, then fully cold entries are LRU-evicted")
 		memEpoch  = flag.Int("mem-epoch", 64, "memory-governor recency window, in registry requests")
 		memTick   = flag.Duration("mem-tick", 30*time.Second, "background memory-governor tick interval (negative = request-driven reclaim only)")
@@ -82,6 +83,7 @@ func main() {
 		MaxTheta:         *maxTheta,
 		LayoutCapacity:   *layouts,
 		InstanceCapacity: *instances,
+		SketchK:          *sketchK,
 		MemBudget:        *memBudget,
 		MemEpoch:         *memEpoch,
 		MemTick:          *memTick,

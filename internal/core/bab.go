@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"oipa/internal/logistic"
+	"oipa/internal/rrset"
 )
 
 // BABOptions tunes the branch-and-bound framework (Algorithm 1).
@@ -46,6 +47,17 @@ type BABOptions struct {
 	// first. This is the reentrant cancellation hook the query service
 	// wires to HTTP request contexts and job cancellation.
 	Stop <-chan struct{}
+	// Sketch routes interior incumbent-candidate evaluations through the
+	// index's bottom-k sketch estimator (Index.EstimateAUSketchWith) when
+	// sketches are attached: O(k·|plan|) per evaluation instead of a θ-
+	// proportional exact scan. The search stays sound — and the returned
+	// Utility stays exact — because sketch numbers never leak into the
+	// published result: a sketch-estimated candidate that beats the
+	// incumbent is re-verified with the exact scan and adopted only if
+	// the exact value still wins, and prune() compares bounds against
+	// that exact incumbent. The root candidate is always evaluated
+	// exactly. Ignored when the index has no sketches attached.
+	Sketch bool
 	// RawGap measures the termination gap on the raw Eq. (6) scale, in
 	// which every user — covered or not — contributes at least
 	// Sigmoid(−α). The paper's L and U both carry that additive
@@ -211,15 +223,30 @@ func solveBranchAndBound(inst *Instance, ev *evaluator, opts BABOptions, name st
 		}
 	}
 
-	evaluate := func(plan *planNode, picks []candidate) (Plan, float64, error) {
+	evaluateExact := func(plan *planNode, picks []candidate) (Plan, float64, error) {
 		p := ev.materialize(plan, picks)
 		util, err := inst.Index.EstimateAUWith(p.Seeds, inst.Problem.Model, ev.au)
 		return p, util, err
 	}
+	// Interior candidate evaluations may go through the sketch; the exact
+	// scan stays the golden reference for the root, for incumbent
+	// re-verification, and for the published Utility.
+	useSketch := opts.Sketch && inst.Index.HasSketches()
+	evaluate := evaluateExact
+	if useSketch {
+		sks := rrset.NewSketchScratch()
+		evaluate = func(plan *planNode, picks []candidate) (Plan, float64, error) {
+			p := ev.materialize(plan, picks)
+			stats.SketchEvals++
+			util, err := inst.Index.EstimateAUSketchWith(p.Seeds, inst.Problem.Model, sks)
+			return p, util, err
+		}
+	}
 
-	// Root bound: the greedy candidate plan is the initial incumbent.
+	// Root bound: the greedy candidate plan is the initial incumbent,
+	// always evaluated exactly so bestUtil starts on the exact scale.
 	rootBR := bound(nil, nil)
-	bestPlan, bestUtil, err := evaluate(nil, rootBR.picks)
+	bestPlan, bestUtil, err := evaluateExact(nil, rootBR.picks)
 	if err != nil {
 		return nil, err
 	}
@@ -289,8 +316,23 @@ func solveBranchAndBound(inst *Instance, ev *evaluator, opts BABOptions, name st
 				return nil, err
 			}
 			if candUtil > bestUtil {
-				bestUtil = candUtil
-				bestPlan = candPlan
+				if useSketch {
+					// Sketch numbers steer the search but never become the
+					// incumbent: re-verify with the exact scan and adopt
+					// only if the exact value still beats the (exact)
+					// incumbent. prune() therefore always compares bounds
+					// against an exact lower bound, keeping the certificate
+					// sound regardless of sketch error.
+					exactUtil, err := inst.Index.EstimateAUWith(candPlan.Seeds, inst.Problem.Model, ev.au)
+					if err != nil {
+						return nil, err
+					}
+					candUtil = exactUtil
+				}
+				if candUtil > bestUtil {
+					bestUtil = candUtil
+					bestPlan = candPlan
+				}
 			}
 			if !prune(br.tau) {
 				push(ch.plan, ch.excl, br.tau, br.branch)

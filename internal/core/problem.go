@@ -378,6 +378,14 @@ func (in *Instance) ExtendToCtx(ctx context.Context, theta int) (*Instance, erro
 		if ix, err = in.MRR.BuildIndex(in.Problem.Pool); err != nil {
 			return nil, err
 		}
+		// The rebuild starts sketchless; re-attach at the receiver's k so
+		// the fallback path matches the delta path (which grows sketches
+		// in place).
+		if k := in.Index.SketchK(); k > 0 {
+			if err := ix.AttachSketches(k); err != nil {
+				return nil, err
+			}
+		}
 	}
 	out := *in
 	out.Index = ix
@@ -410,6 +418,14 @@ func (in *Instance) ShrinkTo(theta int) (*Instance, error) {
 	ix, err := mrr.BuildIndex(in.Problem.Pool)
 	if err != nil {
 		return nil, err
+	}
+	// A shrink is a rebuild, which drops any attached sketches; restore
+	// them at the receiver's k so estimate-mode capability survives the
+	// governor's decay of cold entries.
+	if k := in.Index.SketchK(); k > 0 {
+		if err := ix.AttachSketches(k); err != nil {
+			return nil, err
+		}
 	}
 	out := *in
 	out.MRR = mrr
@@ -478,9 +494,10 @@ func (in *Instance) EstimateAU(plan Plan) (float64, error) {
 
 // SolverStats counts the work a solver performed.
 type SolverStats struct {
-	Nodes      int   // branch-and-bound nodes expanded
-	BoundEvals int   // ComputeBound / ComputeBoundPro invocations
-	TauEvals   int64 // candidate marginal-gain (τ) evaluations
+	Nodes       int   // branch-and-bound nodes expanded
+	BoundEvals  int   // ComputeBound / ComputeBoundPro invocations
+	TauEvals    int64 // candidate marginal-gain (τ) evaluations
+	SketchEvals int64 // incumbent-candidate evaluations served by the sketch
 }
 
 // Result is a solver outcome.

@@ -50,6 +50,13 @@ type Index struct {
 	// (Prefix derivatives). A shared index must never append — its lists
 	// already contain the larger index's tail — so ExtendFrom refuses.
 	shared bool
+
+	// salt seeds the sample-id hash of the bottom-k sketches: the
+	// collection's sampling seed, recorded at build time so sketches are
+	// reproducible for a given (seed, θ) lineage. sk is nil until
+	// AttachSketches; see sketch.go.
+	salt uint64
+	sk   *sketchSet
 }
 
 // BuildIndex inverts the collection over the given promoter pool. The
@@ -66,7 +73,7 @@ func (m *MRRCollection) BuildIndex(pool []int32) (*Index, error) {
 		return nil, fmt.Errorf("rrset: empty promoter pool")
 	}
 	v := m.View()
-	ix := &Index{mrr: v, pool: append([]int32(nil), pool...), pos: make([]int32, v.N()), limit: int32(v.Theta())}
+	ix := &Index{mrr: v, pool: append([]int32(nil), pool...), pos: make([]int32, v.N()), limit: int32(v.Theta()), salt: m.seed}
 	for i := range ix.pos {
 		ix.pos[i] = -1
 	}
@@ -191,6 +198,25 @@ func (ix *Index) ExtendFrom(m *MRRCollection) (*Index, error) {
 	}
 	pp := len(ix.pool)
 	lists := append([][]int32(nil), ix.lists...)
+
+	// Sketch growth rides the same fill pass: a new sample joins a slot's
+	// sketch iff its hash beats the slot threshold — one compare per
+	// inverted-list entry, appends shared with the receiver's storage the
+	// same way the lists are, and a per-slot refilter (fresh allocation,
+	// receiver untouched) only when a slot outgrows 2k. Never a rebuild:
+	// growth stays O(Δθ · avg-set-size) with sketches attached.
+	var sk2 *sketchSet
+	var dh []uint64 // hash of sample oldθ+x at dh[x]
+	if ix.sk != nil {
+		sk2 = &sketchSet{
+			k:    ix.sk.k,
+			salt: ix.sk.salt,
+			tau:  append([]uint64(nil), ix.sk.tau...),
+			hs:   append([][]uint64(nil), ix.sk.hs...),
+			ids:  append([][]int32(nil), ix.sk.ids...),
+		}
+		dh = sampleHashes(sk2.salt, oldTheta, newTheta)
+	}
 	var wg sync.WaitGroup
 	for j := 0; j < v.l; j++ {
 		wg.Add(1)
@@ -201,13 +227,22 @@ func (ix *Index) ExtendFrom(m *MRRCollection) (*Index, error) {
 					if p := ix.pos[u]; p >= 0 {
 						slot := j*pp + int(p)
 						lists[slot] = append(lists[slot], int32(i))
+						if sk2 != nil {
+							if h := dh[i-oldTheta]; h < sk2.tau[slot] {
+								sk2.hs[slot] = append(sk2.hs[slot], h)
+								sk2.ids[slot] = append(sk2.ids[slot], int32(i))
+								if len(sk2.hs[slot]) >= 2*sk2.k {
+									sk2.compactSlot(slot)
+								}
+							}
+						}
 					}
 				}
 			}
 		}(j)
 	}
 	wg.Wait()
-	return &Index{mrr: v, pool: ix.pool, pos: ix.pos, lists: lists, limit: int32(newTheta)}, nil
+	return &Index{mrr: v, pool: ix.pool, pos: ix.pos, lists: lists, limit: int32(newTheta), salt: ix.salt, sk: sk2}, nil
 }
 
 // MRR returns the immutable sample view the index was built over (for a
@@ -236,21 +271,38 @@ func (ix *Index) Prefix(theta int) (*Index, error) {
 		lists:  ix.lists,
 		limit:  int32(theta),
 		shared: true,
+		salt:   ix.salt,
+		// The parent's sketches re-bound for free: the stored set cut to
+		// ids below θ is exactly "every prefix sample hashing below tau",
+		// so EstimateAUSketch just skips ids beyond the limit.
+		sk: ix.sk,
 	}, nil
 }
 
 // MemUsage approximates the index's resident bytes: the inverted lists
-// (capacity, not length), the pool translation arrays, and the list
-// headers. It is the serve-layer memory governor's accounting unit. The
-// figure is a lower bound after growth — slots that outgrew the original
-// build arena leave holes in it that are still reachable — and exact for
-// freshly built (or shrink-rematerialized) indexes, whose slots are
-// carved tight. Prefix indexes report the storage they alias.
+// (capacity, not length), the pool translation arrays, the list headers,
+// and any attached sketches. It is the serve-layer memory governor's
+// accounting unit. The figure is a lower bound after growth — slots that
+// outgrew the original build arena leave holes in it that are still
+// reachable — and exact for freshly built (or shrink-rematerialized)
+// indexes, whose slots are carved tight.
+//
+// A Prefix derivative owns nothing: lists, pool arrays, and sketches all
+// alias its parent's storage. It reports 0 so an artifact lineage holding
+// both the full index and a served prefix is not double-counted in the
+// registry's resident gauge (which used to inflate resident_bytes and
+// trigger spurious governor shrinks).
 func (ix *Index) MemUsage() int64 {
+	if ix.shared {
+		return 0
+	}
 	b := int64(len(ix.pos))*4 + int64(len(ix.pool))*4
 	b += int64(cap(ix.lists)) * 24 // slice headers
 	for _, l := range ix.lists {
 		b += int64(cap(l)) * 4
+	}
+	if ix.sk != nil {
+		b += ix.sk.memUsage()
 	}
 	return b
 }

@@ -174,6 +174,78 @@ func TestIndexPrefixMatchesFreshIndex(t *testing.T) {
 	}
 }
 
+// TestIndexDoublePrefix pins Prefix(Prefix(ix)): the twice-derived index
+// shares the *original* full lists with a smaller limit, and behaves
+// bit-identically to an index freshly built at the inner θ — Samples,
+// Degree, and estimates — while ExtendFrom refuses on both prefix levels.
+func TestIndexDoublePrefix(t *testing.T) {
+	const inner, outer, large = 200, 600, 1000
+	big, fresh := mrrPair(t, 31, inner, large)
+	pool := []int32{1, 4, 9, 16, 25, 36, 49, 64}
+	bigIx, err := big.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshIx, err := fresh.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := bigIx.Prefix(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix, err := mid.Prefix(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pix.MRR().Theta() != inner {
+		t.Fatalf("double-prefix view theta %d, want %d", pix.MRR().Theta(), inner)
+	}
+	// The derived lists alias the original full index's storage.
+	if &pix.lists[0] != &bigIx.lists[0] {
+		t.Fatal("double-prefix does not share the original lists")
+	}
+	for j := 0; j < big.L(); j++ {
+		for p := int32(0); int(p) < len(pool); p++ {
+			a, b := pix.Samples(j, p), freshIx.Samples(j, p)
+			if len(a) != len(b) {
+				t.Fatalf("piece %d pos %d: list sizes %d vs %d", j, p, len(a), len(b))
+			}
+			for x := range a {
+				if a[x] != b[x] {
+					t.Fatalf("piece %d pos %d: lists differ", j, p)
+				}
+			}
+			if pix.Degree(j, p) != freshIx.Degree(j, p) {
+				t.Fatalf("piece %d pos %d: degrees differ", j, p)
+			}
+		}
+	}
+	plan := [][]int32{{1, 9}, {4, 25, 64}}
+	got, err := pix.EstimateAU(plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := freshIx.EstimateAU(plan, paperModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("double-prefix estimate %v != fresh index estimate %v", got, want)
+	}
+	// Growth must refuse on both derivation levels.
+	if _, err := mid.ExtendFrom(big); err == nil {
+		t.Fatal("ExtendFrom on a prefix index did not refuse")
+	}
+	if _, err := pix.ExtendFrom(big); err == nil {
+		t.Fatal("ExtendFrom on a double-prefix index did not refuse")
+	}
+	// And the lineage above is untouched.
+	if bigIx.MRR().Theta() != large || mid.MRR().Theta() != outer {
+		t.Fatalf("lineage thetas drifted: %d/%d", bigIx.MRR().Theta(), mid.MRR().Theta())
+	}
+}
+
 func TestPrefixValidation(t *testing.T) {
 	g, probs := randomTestGraph(t, 3, 40, 200)
 	m, err := SampleMRR(g, probs, 100, 1)

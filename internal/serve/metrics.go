@@ -19,6 +19,8 @@ type metrics struct {
 
 	inflightEstimates atomic.Int64 // gauge: estimate scans currently executing
 	inflightSimulates atomic.Int64 // gauge: forward simulations currently executing
+	sketchEstimates   atomic.Int64 // estimates answered from the bottom-k sketch
+	sketchFallbacks   atomic.Int64 // sketch-eligible estimates that fell back to the exact scan
 	shedTotal         atomic.Int64 // requests rejected by overload protection (429/503 + Retry-After)
 	panicsTotal       atomic.Int64 // panics contained by handler/job/registry recovery
 	degradedSolves    atomic.Int64 // deadline-expired solves answered with their incumbent
@@ -64,8 +66,14 @@ type MetricsSnapshot struct {
 		ShedTotal      int64 `json:"shed_total"`
 		PanicsTotal    int64 `json:"panics_total"`
 		DegradedSolves int64 `json:"degraded_solves"`
-		AdmitQueued    int   `json:"admit_queued"` // gauge: requests waiting for admission
-		Draining       bool  `json:"draining"`
+		// SketchEstimates counts /v1/estimate responses served from the
+		// bottom-k sketch; SketchFallbacks counts sketch-eligible requests
+		// that fell back to the exact scan (plan outside the pool, wrong
+		// shape, …). Exact-mode requests below the θ gate count as neither.
+		SketchEstimates int64 `json:"sketch_estimates"`
+		SketchFallbacks int64 `json:"sketch_fallbacks"`
+		AdmitQueued     int   `json:"admit_queued"` // gauge: requests waiting for admission
+		Draining        bool  `json:"draining"`
 		Inflight       struct {
 			Solve    int64 `json:"solve"`
 			Estimate int64 `json:"estimate"`
@@ -114,6 +122,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Server.ShedTotal = m.shedTotal.Load()
 	s.Server.PanicsTotal = m.panicsTotal.Load()
 	s.Server.DegradedSolves = m.degradedSolves.Load()
+	s.Server.SketchEstimates = m.sketchEstimates.Load()
+	s.Server.SketchFallbacks = m.sketchFallbacks.Load()
 	s.Server.Inflight.Solve = m.inflightSolves.Load()
 	s.Server.Inflight.Estimate = m.inflightEstimates.Load()
 	s.Server.Inflight.Simulate = m.inflightSimulates.Load()

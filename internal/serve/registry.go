@@ -208,6 +208,7 @@ type Registry struct {
 	model    logistic.Model
 	layouts  *graph.LayoutCache
 	capacity int
+	sketchK  int // bottom-k sketch size attached to prepared indexes (0 = none)
 
 	budget      int64 // resident-bytes target; 0 disables the governor
 	epochWindow int64 // request-clock ticks per recency epoch
@@ -232,13 +233,14 @@ type Registry struct {
 	m *metrics
 }
 
-func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, instanceCap int, memBudget int64, memEpoch int, m *metrics) *Registry {
+func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, instanceCap int, memBudget int64, memEpoch int, sketchK int, m *metrics) *Registry {
 	return &Registry{
 		g:           g,
 		pool:        pool,
 		model:       model,
 		layouts:     graph.NewLayoutCache(g, layoutCap),
 		capacity:    instanceCap,
+		sketchK:     sketchK,
 		budget:      memBudget,
 		epochWindow: int64(memEpoch),
 		entries:     make(map[instanceKey]*entry),
@@ -552,7 +554,21 @@ func (r *Registry) prepare(ctx context.Context, campaign topic.Campaign, theta i
 		Model:    r.model,
 	}
 	r.m.prepares.Add(1)
-	return core.PrepareLayoutsCtx(ctx, prob, layouts, theta, seed)
+	inst, err := core.PrepareLayoutsCtx(ctx, prob, layouts, theta, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Attach bottom-k coverage sketches before the artifact is published,
+	// so readers never observe an index whose sketch state changes under
+	// them. Growth keeps them current (Index.ExtendFrom appends to the
+	// sketch slots; the rebuild fallback and ShrinkTo re-attach at the
+	// same k), so this is the only attach point the registry needs.
+	if r.sketchK > 0 {
+		if err := inst.Index.AttachSketches(r.sketchK); err != nil {
+			return nil, fmt.Errorf("serve: attach sketches: %w", err)
+		}
+	}
+	return inst, nil
 }
 
 // maybeReclaim runs the pressure policy when the resident bytes exceed

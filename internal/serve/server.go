@@ -98,6 +98,20 @@ type Config struct {
 	LayoutCapacity   int // cached piece layouts (default 128)
 	InstanceCapacity int // cached prepared instances (default 8)
 
+	// SketchK, when positive, attaches bottom-k coverage sketches of this
+	// size to every prepared artifact's inverted index. Estimate requests
+	// at θ ≥ 8·k whose plan fits the index (one seed set per campaign
+	// piece, every seed in the pool) are then answered from the sketch in
+	// O(k·|plan|) — independent of θ — with relative error concentrating
+	// like 1/√k; everything else falls back to the exact scan, which
+	// remains the golden reference (sketch_estimates / sketch_fallbacks
+	// count the split, estimate_mode labels each response). Solves at
+	// eligible θ route interior branch-and-bound candidate evaluations
+	// through the sketch too; their published utilities are always
+	// re-verified exactly (core.BABOptions.Sketch). Sketch bytes are
+	// accounted in resident_bytes. 0 disables sketches entirely.
+	SketchK int
+
 	// MemBudget is the soft resident-bytes target for prepared artifacts
 	// (0 = ungoverned). Over budget the registry θ-shrinks cold grown
 	// entries to their largest recently requested θ, then LRU-evicts
@@ -211,7 +225,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: default model: %w", err)
 	}
 	s := &Server{cfg: cfg, g: cfg.Graph}
-	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, cfg.MemBudget, cfg.MemEpoch, &s.m)
+	if cfg.SketchK < 0 {
+		return nil, fmt.Errorf("serve: negative sketch k %d", cfg.SketchK)
+	}
+	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, cfg.MemBudget, cfg.MemEpoch, cfg.SketchK, &s.m)
 	s.reg.startGovernor(cfg.MemTick)
 	s.jobs = newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.JobHistory, &s.m)
 	s.jobs.run = s.runJob
@@ -363,6 +380,13 @@ type SolveResponse struct {
 	// fully evaluated) and Upper a true residual bound — the answer is
 	// coarser, not wrong.
 	Degraded bool `json:"degraded,omitempty"`
+	// EstimateMode reports how interior branch-and-bound candidate
+	// evaluations ran: "sketch" when the bottom-k sketch steered the
+	// search (Stats.SketchEvals counts them; the published Utility is
+	// still exact — sketch incumbents are re-verified with the exact scan
+	// before adoption), "exact" otherwise. Empty for methods without
+	// interior evaluations (im, tim).
+	EstimateMode string `json:"estimate_mode,omitempty"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate: MRR-estimate the
@@ -379,12 +403,18 @@ type EstimateRequest struct {
 
 // EstimateResponse is the body of a completed estimate.
 type EstimateResponse struct {
-	Utility       float64 `json:"utility"`
-	Theta         int     `json:"theta"`
-	CacheHit      bool    `json:"cache_hit"`
-	PrefixHit     bool    `json:"prefix_hit,omitempty"`
-	Extended      bool    `json:"extended,omitempty"`
-	PreparedTheta int     `json:"prepared_theta,omitempty"`
+	Utility float64 `json:"utility"`
+	Theta   int     `json:"theta"`
+	// EstimateMode is "sketch" when the utility came from the bottom-k
+	// sketch estimator (Config.SketchK set, θ at or above the gate, plan
+	// inside the pool) and "exact" when it came from the exact MRR scan —
+	// including sketch-eligible requests that fell back (the exact scan
+	// accepts any graph node as a seed; the sketch only pool members).
+	EstimateMode  string `json:"estimate_mode"`
+	CacheHit      bool   `json:"cache_hit"`
+	PrefixHit     bool   `json:"prefix_hit,omitempty"`
+	Extended      bool   `json:"extended,omitempty"`
+	PreparedTheta int    `json:"prepared_theta,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: forward Monte-Carlo
@@ -572,21 +602,49 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, err)
 		return
 	}
-	est := art.estimator()
-	util, err := est.EstimateAUPrefix(req.Plan, model, req.Theta)
-	art.putEstimator(est)
-	if err != nil {
-		s.error(w, http.StatusBadRequest, err)
-		return
+	// Sketch fast path: O(k·|plan|) independent of θ. Any sketch error —
+	// seeds outside the pool, a plan shape the index refuses — falls
+	// back to the exact scan, which accepts strictly more inputs; the
+	// response always says which estimator answered.
+	util, mode := 0.0, "exact"
+	served := false
+	if s.sketchEligible(req.Theta) {
+		if inst, ierr := art.InstanceAt(req.Theta); ierr == nil {
+			if u, serr := inst.Index.EstimateAUSketch(req.Plan, model); serr == nil {
+				util, mode, served = u, "sketch", true
+				s.m.sketchEstimates.Add(1)
+			} else {
+				s.m.sketchFallbacks.Add(1)
+			}
+		} else {
+			s.m.sketchFallbacks.Add(1)
+		}
+	}
+	if !served {
+		est := art.estimator()
+		util, err = est.EstimateAUPrefix(req.Plan, model, req.Theta)
+		art.putEstimator(est)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Utility:       util,
 		Theta:         req.Theta,
+		EstimateMode:  mode,
 		CacheHit:      outcome.CacheHit(),
 		PrefixHit:     outcome == OutcomePrefix,
 		Extended:      outcome == OutcomeExtend,
 		PreparedTheta: art.Theta(),
 	})
+}
+
+// sketchEligible gates the sketch estimator by θ: below 8·k the exact
+// scan is already cheap and the sketch's thresholded slots are barely
+// populated, so small-θ requests stay on the golden exact path.
+func (s *Server) sketchEligible(theta int) bool {
+	return s.cfg.SketchK > 0 && theta >= 8*s.cfg.SketchK
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -758,6 +816,10 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		RawGap:         true,
 		FillAfterFloor: true,
 		Stop:           stop,
+		// Interior incumbent-candidate evaluations may use the sketch;
+		// the published utility is always exact (re-verified by the
+		// solver before adoption).
+		Sketch: s.sketchEligible(req.Theta),
 	}
 
 	// Chaos hook: a fault between artifact acquisition and the solver
@@ -804,6 +866,14 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	for j, p := range req.Campaign.Pieces {
 		pieces[j] = p.Name
 	}
+	estMode := ""
+	switch req.Method {
+	case "bab", "babp", "greedy":
+		estMode = "exact"
+		if res.Stats.SketchEvals > 0 {
+			estMode = "sketch"
+		}
+	}
 	sampleMS, indexMS := 0.0, 0.0
 	if !outcome.CacheHit() {
 		// Miss: the full preparation; extend: only the growth step's
@@ -828,6 +898,7 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		Extended:      outcome == OutcomeExtend,
 		PreparedTheta: art.Theta(),
 		Degraded:      degraded,
+		EstimateMode:  estMode,
 	}, nil
 }
 

@@ -43,6 +43,16 @@ func mix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Hash returns the first draw of the stream Derive(seed, idx) would
+// produce, without allocating a generator. It is the canonical way to
+// attach one deterministic uniform 64-bit value to a (seed, index) pair —
+// the bottom-k sketches hash sample ids through it so sketches built from
+// the same collection seed are reproducible bit-for-bit.
+func Hash(seed, idx uint64) uint64 {
+	x := mix(seed^mix(idx+0x9e3779b97f4a7c15)) + 0x9e3779b97f4a7c15
+	return mix(x)
+}
+
 // Uint64 returns the next value in the stream.
 func (r *SplitMix64) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
