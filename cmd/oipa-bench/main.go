@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -117,11 +118,33 @@ type sketchReport struct {
 	ExtendNS       int64   `json:"index_extend_sketch_ns"`
 }
 
+// serveLatency is the histogram-derived serve-path latency profile:
+// after a fixed traffic mix over HTTP-in-process, the quantiles come
+// straight out of the serve tier's lock-free latency histograms — the
+// same numbers /metrics exposes in production, pinned here as data.
+type serveLatency struct {
+	Solves    int                  `json:"solves"`
+	Estimates int                  `json:"estimates"`
+	Solve     serve.HistogramStats `json:"solve"`
+	Estimate  serve.HistogramStats `json:"estimate"`
+}
+
+// obsOverhead compares the fully instrumented request path (histograms,
+// request ids, status capture) against a DisableObs server driving the
+// identical request stream, interleaved in one process. The target is
+// <2%: observability must be effectively free on the serving path.
+type obsOverhead struct {
+	Requests    int     `json:"requests"`
+	ObsNsPerOp  float64 `json:"obs_ns_per_op"`
+	OffNsPerOp  float64 `json:"off_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
-	Generated  string  `json:"generated"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// DegenerateParallelism flags a report generated with GOMAXPROCS=1:
 	// every parallel section (index build/extend shards, evaluator pools,
 	// the saturation burst) ran serialized, so absolute numbers are NOT
@@ -136,10 +159,12 @@ type report struct {
 		M int `json:"m"`
 		Z int `json:"z"`
 	} `json:"graph"`
-	Benchmarks  []result      `json:"benchmarks"`
-	Sketch      *sketchReport `json:"sketch,omitempty"`
-	ThetaAscend *thetaAscend  `json:"theta_ascend,omitempty"`
-	Saturation  *saturation   `json:"saturation,omitempty"`
+	Benchmarks   []result      `json:"benchmarks"`
+	Sketch       *sketchReport `json:"sketch,omitempty"`
+	ThetaAscend  *thetaAscend  `json:"theta_ascend,omitempty"`
+	Saturation   *saturation   `json:"saturation,omitempty"`
+	ServeLatency *serveLatency `json:"serve_latency,omitempty"`
+	ObsOverhead  *obsOverhead  `json:"obs_overhead,omitempty"`
 }
 
 func main() {
@@ -390,6 +415,7 @@ func main() {
 	})
 
 	rep.Saturation = saturate(g, pool, prob.Model, campaign, *theta, *k)
+	rep.ServeLatency, rep.ObsOverhead = serveObs(g, pool, prob.Model, campaign, *theta, *k)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -582,6 +608,101 @@ func saturate(g *graph.Graph, pool []int32, model logistic.Model, campaign topic
 	log.Printf("saturation: %d requests over capacity %d: ok=%d (degraded=%d) shed=%d errors=%d; ok p95 %.1f ms, shed p95 %.1f ms",
 		sat.Requests, sat.Capacity, sat.OK, sat.Degraded, sat.Shed, sat.Errors, sat.OKP95MS, sat.ShedP95MS)
 	return sat
+}
+
+// serveObs measures the serve tier's observability layer: a fixed
+// traffic mix against an instrumented server yields the serve_latency
+// section straight from its latency histograms, and an interleaved
+// instrumented-vs-DisableObs comparison over the identical estimate
+// stream yields the overhead entry. Requests run in-process through the
+// http.Handler (httptest.NewRecorder — no TCP, no client), so the
+// difference between the two servers is the instrumentation alone.
+func serveObs(g *graph.Graph, pool []int32, model logistic.Model, campaign topic.Campaign, theta, k int) (*serveLatency, *obsOverhead) {
+	mk := func(disable bool) *serve.Server {
+		srv, err := serve.New(serve.Config{
+			Graph:        g,
+			Pool:         pool,
+			Model:        model,
+			DefaultTheta: theta,
+			MaxTheta:     4 * theta,
+			DisableObs:   disable,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return srv
+	}
+	plan := make([][]int32, campaign.L())
+	for j := range plan {
+		n := 6
+		if n > len(pool) {
+			n = len(pool)
+		}
+		plan[j] = pool[:n]
+	}
+	estBody, err := json.Marshal(serve.EstimateRequest{Campaign: campaign, Plan: plan, Theta: theta / 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	solveBody, err := json.Marshal(serve.SolveRequest{Campaign: campaign, Method: "babp", K: k, Theta: theta / 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drive := func(h http.Handler, path string, body []byte, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != 200 {
+				log.Fatalf("%s returned %d: %s", path, w.Code, w.Body.String())
+			}
+		}
+		return time.Since(start)
+	}
+
+	// serve_latency: a solve/estimate mix against the instrumented server;
+	// quantiles read back from its own histograms.
+	const nSolves, nEstimates = 40, 200
+	on := mk(false)
+	defer on.Close()
+	drive(on.Handler(), "/v1/estimate", estBody, 1) // artifact preparation outside the mix
+	drive(on.Handler(), "/v1/solve", solveBody, nSolves)
+	drive(on.Handler(), "/v1/estimate", estBody, nEstimates)
+	snap := on.Metrics()
+	lat := &serveLatency{Solves: nSolves, Estimates: nEstimates + 1, Solve: snap.Latency.Solve, Estimate: snap.Latency.Estimate}
+	log.Printf("serve_latency: solve p50 %.2f p95 %.2f p99 %.2f ms; estimate p50 %.3f p95 %.3f p99 %.3f ms",
+		lat.Solve.P50MS, lat.Solve.P95MS, lat.Solve.P99MS, lat.Estimate.P50MS, lat.Estimate.P95MS, lat.Estimate.P99MS)
+
+	// Overhead: alternate batches across the two servers and keep each
+	// server's best batch — interleaving shares machine noise, min is
+	// robust against stray scheduling hiccups.
+	off := mk(true)
+	defer off.Close()
+	drive(off.Handler(), "/v1/estimate", estBody, 1)
+	const batches, perBatch = 5, 200
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	var onBest, offBest time.Duration
+	for b := 0; b < batches; b++ {
+		onBest = best(onBest, drive(on.Handler(), "/v1/estimate", estBody, perBatch))
+		offBest = best(offBest, drive(off.Handler(), "/v1/estimate", estBody, perBatch))
+	}
+	ov := &obsOverhead{
+		Requests:   batches * perBatch,
+		ObsNsPerOp: float64(onBest.Nanoseconds()) / perBatch,
+		OffNsPerOp: float64(offBest.Nanoseconds()) / perBatch,
+	}
+	if ov.OffNsPerOp > 0 {
+		ov.OverheadPct = 100 * (ov.ObsNsPerOp - ov.OffNsPerOp) / ov.OffNsPerOp
+	}
+	log.Printf("obs_overhead: instrumented %.0f ns/op vs disabled %.0f ns/op: %+.2f%% (target < 2%%)",
+		ov.ObsNsPerOp, ov.OffNsPerOp, ov.OverheadPct)
+	return lat, ov
 }
 
 func percentile(sorted []float64, q float64) float64 {

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +58,11 @@ func main() {
 		admitCap  = flag.Int("admit-capacity", 0, "admission semaphore capacity in weight units (solve/simulate=2, estimate=1; 0 = 2x GOMAXPROCS)")
 		admitQ    = flag.Int("admit-queue", 0, "admission wait-queue bound; waiters beyond it are shed with 429 (0 = 4x capacity, negative = no queue)")
 		grace     = flag.Duration("drain-grace", 15*time.Second, "graceful-drain budget on SIGINT/SIGTERM before in-flight work is hard-canceled")
+
+		logReqs     = flag.Bool("log-requests", true, "emit one JSON log record per heavy request (request id, endpoint, campaign, theta, status, duration) to stderr")
+		slowReq     = flag.Duration("slow-request", 5*time.Second, "warn-level slow-request log threshold (0 = disabled)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced without ?debug=trace; sampled span trees go to the request log (0 = off, 0.01 = every 100th)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it loopback-only or firewalled")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -75,6 +82,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var logger *slog.Logger
+	if *logReqs {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof registers on http.DefaultServeMux; serving it on
+		// its own listener keeps the profiling surface off the service
+		// address.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 	srv, err := serve.New(serve.Config{
 		Graph:            g,
 		Pool:             pool,
@@ -92,6 +114,9 @@ func main() {
 		RequestTimeout:   *reqTmo,
 		AdmitCapacity:    *admitCap,
 		AdmitQueue:       *admitQ,
+		Logger:           logger,
+		SlowRequest:      *slowReq,
+		TraceSample:      *traceSample,
 	})
 	if err != nil {
 		log.Fatal(err)

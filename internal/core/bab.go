@@ -323,6 +323,7 @@ func solveBranchAndBound(inst *Instance, ev *evaluator, opts BABOptions, name st
 					// incumbent. prune() therefore always compares bounds
 					// against an exact lower bound, keeping the certificate
 					// sound regardless of sketch error.
+					stats.ReVerifyEvals++
 					exactUtil, err := inst.Index.EstimateAUWith(candPlan.Seeds, inst.Problem.Model, ev.au)
 					if err != nil {
 						return nil, err

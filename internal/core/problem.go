@@ -492,12 +492,16 @@ func (in *Instance) EstimateAU(plan Plan) (float64, error) {
 	return in.Index.EstimateAU(plan.Seeds, in.Problem.Model)
 }
 
-// SolverStats counts the work a solver performed.
+// SolverStats counts the work a solver performed. The serve tier
+// aggregates these per endpoint at /metrics and echoes them per
+// response, so keep every field cheap to maintain (plain increments on
+// the search path).
 type SolverStats struct {
-	Nodes       int   // branch-and-bound nodes expanded
-	BoundEvals  int   // ComputeBound / ComputeBoundPro invocations
-	TauEvals    int64 // candidate marginal-gain (τ) evaluations
-	SketchEvals int64 // incumbent-candidate evaluations served by the sketch
+	Nodes         int   // branch-and-bound nodes expanded
+	BoundEvals    int   // ComputeBound / ComputeBoundPro invocations
+	TauEvals      int64 // candidate marginal-gain (τ) evaluations
+	SketchEvals   int64 // incumbent-candidate evaluations served by the sketch
+	ReVerifyEvals int64 // sketch incumbents re-verified with the exact scan before adoption
 }
 
 // Result is a solver outcome.

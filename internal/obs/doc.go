@@ -1,0 +1,19 @@
+// Package obs is the service's dependency-free observability kit:
+// lock-free log-bucketed latency histograms, a lightweight request-span
+// tracer, Prometheus text exposition, and Go runtime snapshots.
+//
+// Design constraints, in priority order:
+//
+//   - The hot path must stay hot. Histogram.Observe is one atomic add on
+//     a bucket computed with two bit operations — no locks, no time
+//     formatting, no allocation. StartSpan on an untraced context is a
+//     single context lookup returning a nil span whose End is a no-op:
+//     zero allocations, pinned by a benchmark and an AllocsPerRun test.
+//   - Snapshots are mergeable. A histogram snapshot is a plain counts
+//     array over a fixed global bucket layout, so snapshots from
+//     different histograms (or different processes) add bucket-wise —
+//     the property Prometheus histograms are built around.
+//   - No dependencies. Exposition is the plain text format written by
+//     hand; tracing is a tree of (name, start, duration) — enough to see
+//     where a request's time went, not a distributed-tracing system.
+package obs

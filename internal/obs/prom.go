@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): one # HELP / # TYPE header per metric family (on
+// first use), then one sample line per label set. Callers emit families
+// in whatever order they like; label sets of one family should be
+// emitted consecutively for readability but Prometheus does not require
+// it.
+type PromWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter wraps w. Write errors are sticky and reported by Err.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, typ, help string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, help)
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: shortest
+// round-trip decimal.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Counter emits one counter sample. labels is the rendered label body
+// without braces (`endpoint="solve"`), empty for none.
+func (p *PromWriter) Counter(name, help, labels string, v float64) {
+	p.header(name, "counter", help)
+	p.sample(name, labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help, labels string, v float64) {
+	p.header(name, "gauge", help)
+	p.sample(name, labels, v)
+}
+
+func (p *PromWriter) sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, fmtFloat(v))
+	} else {
+		p.printf("%s{%s} %s\n", name, labels, fmtFloat(v))
+	}
+}
+
+// Histogram emits one histogram sample set from a snapshot: cumulative
+// `le` buckets in seconds (only buckets up to the highest non-empty one,
+// plus +Inf — the full fixed layout would bloat every scrape), then
+// _sum and _count.
+func (p *PromWriter) Histogram(name, help, labels string, s HistSnapshot) {
+	p.header(name, "histogram", help)
+	pre := labels
+	if pre != "" {
+		pre += ","
+	}
+	last := -1
+	for i, c := range s.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last && !IsOverflow(i); i++ {
+		cum += s.Counts[i]
+		p.printf("%s_bucket{%sle=%q} %d\n", name, pre, fmtFloat(BucketBound(i).Seconds()), cum)
+	}
+	p.printf("%s_bucket{%sle=\"+Inf\"} %d\n", name, pre, s.Count)
+	p.sample(name+"_sum", labels, s.Sum.Seconds())
+	if labels == "" {
+		p.printf("%s_count %d\n", name, s.Count)
+	} else {
+		p.printf("%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	pw.Counter("oipa_requests_total", "Requests by endpoint.", `endpoint="solve"`, 3)
+	pw.Counter("oipa_requests_total", "Requests by endpoint.", `endpoint="estimate"`, 1)
+	pw.Gauge("oipa_inflight", "", `endpoint="solve"`, 2)
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	h.Observe(8 * time.Millisecond)
+	pw.Histogram("oipa_request_latency_seconds", "Latency.", `endpoint="solve"`, h.Snapshot())
+	var hu Histogram // unlabeled histogram: no stray commas or braces
+	hu.Observe(time.Millisecond)
+	pw.Histogram("oipa_admission_wait_seconds", "", "", hu.Snapshot())
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE oipa_requests_total counter\n",
+		"# HELP oipa_requests_total Requests by endpoint.\n",
+		"oipa_requests_total{endpoint=\"solve\"} 3\n",
+		"oipa_requests_total{endpoint=\"estimate\"} 1\n",
+		"# TYPE oipa_inflight gauge\n",
+		"oipa_inflight{endpoint=\"solve\"} 2\n",
+		"# TYPE oipa_request_latency_seconds histogram\n",
+		"oipa_request_latency_seconds_bucket{endpoint=\"solve\",le=\"+Inf\"} 2\n",
+		"oipa_request_latency_seconds_count{endpoint=\"solve\"} 2\n",
+		"oipa_request_latency_seconds_sum{endpoint=\"solve\"} 0.01\n",
+		"oipa_admission_wait_seconds_bucket{le=\"+Inf\"} 1\n",
+		"oipa_admission_wait_seconds_count 1\n",
+		"oipa_admission_wait_seconds_sum 0.001\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// The family header must appear exactly once per metric.
+	if n := strings.Count(out, "# TYPE oipa_requests_total counter"); n != 1 {
+		t.Errorf("TYPE header emitted %d times, want 1", n)
+	}
+	// Cumulative le buckets: the 2ms observation must be counted in the
+	// bucket that also covers 8ms (cumulative, not raw).
+	var cum []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "oipa_request_latency_seconds_bucket") {
+			cum = append(cum, line)
+		}
+	}
+	if len(cum) < 2 {
+		t.Fatalf("expected multiple le buckets, got %v", cum)
+	}
+	if !strings.HasSuffix(cum[len(cum)-1], " 2") {
+		t.Errorf("last bucket not cumulative total: %q", cum[len(cum)-1])
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime's health
+// signals, shaped for the /metrics JSON snapshot. ReadMemStats costs a
+// brief stop-the-world, so read it per scrape, never per request.
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"` // live heap
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`   // heap address space from the OS
+	HeapObjects    uint64  `json:"heap_objects"`
+	NextGCBytes    uint64  `json:"next_gc_bytes"` // heap goal of the next GC cycle
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	LastGCPauseUS  float64 `json:"last_gc_pause_us"`
+}
+
+// ReadRuntime snapshots the runtime.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		NextGCBytes:    ms.NextGC,
+		GCCycles:       ms.NumGC,
+		GCPauseTotalMS: float64(ms.PauseTotalNs) / float64(time.Millisecond),
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseUS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / float64(time.Microsecond)
+	}
+	return rs
+}

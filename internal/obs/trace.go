@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's span tree. A trace is created at the request
+// boundary (NewTrace) with a request-scoped ID, grows child spans
+// through StartSpan on the request's context, and renders to a
+// JSON-shaped SpanTree. All span mutation is guarded by one per-trace
+// mutex — traces are small (a handful of spans) and only built on
+// sampled or debug requests, so contention is irrelevant; what matters
+// is that the UNtraced path never touches any of this (StartSpan on a
+// context without a span returns nil without allocating).
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one timed region of a trace. End is idempotent and safe on a
+// nil span (the disabled-tracing fast path hands out nil spans).
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+type spanKey struct{}
+
+// NewTrace roots a new trace at ctx: the returned context carries the
+// root span, so StartSpan calls downstream attach children to it. The
+// id is the request's ID (see NewRequestID); rootName conventionally
+// names the endpoint.
+func NewTrace(ctx context.Context, id, rootName string) (context.Context, *Trace) {
+	tr := &Trace{id: id, start: time.Now()}
+	tr.root = &Span{tr: tr, name: rootName, start: tr.start}
+	return context.WithValue(ctx, spanKey{}, tr.root), tr
+}
+
+// StartSpan opens a child of the context's active span and returns a
+// context carrying the new span (so further StartSpan calls nest under
+// it). On an untraced context it returns ctx unchanged and a nil span —
+// zero allocations, End() a no-op — which is the always-on request
+// path: instrumentation points call StartSpan unconditionally and only
+// sampled/debug requests pay for it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{tr: parent.tr, name: name, start: time.Now()}
+	parent.tr.mu.Lock()
+	parent.children = append(parent.children, sp)
+	parent.tr.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// Traced reports whether ctx carries an active span (i.e. the request
+// is being traced).
+func Traced(ctx context.Context) bool {
+	_, ok := ctx.Value(spanKey{}).(*Span)
+	return ok
+}
+
+// End closes the span; the first call wins, later calls (and calls on
+// nil spans) are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = now.Sub(s.start)
+	}
+	s.tr.mu.Unlock()
+}
+
+// ID returns the trace's request-scoped ID.
+func (t *Trace) ID() string { return t.id }
+
+// Finish ends the root span (idempotently) and renders the tree.
+func (t *Trace) Finish() *SpanTree {
+	t.root.End()
+	return t.Tree()
+}
+
+// Tree renders the trace as a JSON-shaped span tree. Spans not yet
+// ended render with their duration up to now, so an in-flight trace
+// still produces a sensible picture.
+func (t *Trace) Tree() *SpanTree {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tree := t.renderLocked(t.root, now)
+	tree.TraceID = t.id
+	return tree
+}
+
+func (t *Trace) renderLocked(s *Span, now time.Time) *SpanTree {
+	dur := s.dur
+	if !s.ended {
+		dur = now.Sub(s.start)
+	}
+	st := &SpanTree{
+		Name:    s.name,
+		StartUS: s.start.Sub(t.start).Microseconds(),
+		DurUS:   dur.Microseconds(),
+	}
+	for _, c := range s.children {
+		st.Spans = append(st.Spans, t.renderLocked(c, now))
+	}
+	return st
+}
+
+// SpanTree is the rendered form of a trace: offsets are microseconds
+// from the trace start, so child spans visibly nest inside their
+// parents and sibling durations sum sensibly toward the root's.
+type SpanTree struct {
+	TraceID string      `json:"trace_id,omitempty"` // set on the root only
+	Name    string      `json:"name"`
+	StartUS int64       `json:"start_us"`
+	DurUS   int64       `json:"dur_us"`
+	Spans   []*SpanTree `json:"spans,omitempty"`
+}
+
+// Find returns the first span named name in a pre-order walk, or nil —
+// a test and debugging convenience.
+func (st *SpanTree) Find(name string) *SpanTree {
+	if st == nil {
+		return nil
+	}
+	if st.Name == name {
+		return st
+	}
+	for _, c := range st.Spans {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// ---- request IDs ----
+
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = func() string {
+		// A per-process prefix keeps IDs distinguishable across restarts
+		// and replicas without coordination; the sequence makes them
+		// unique and roughly ordered within the process.
+		return fmt.Sprintf("%04x%04x", os.Getpid()&0xffff, time.Now().UnixNano()&0xffff)
+	}()
+)
+
+// NewRequestID returns a process-unique request ID, cheap enough to
+// mint on every request (one atomic add and a small format).
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}

@@ -33,6 +33,8 @@ type JobStatus struct {
 type job struct {
 	id        string
 	req       SolveRequest
+	reqID     string // observability id of the submitting HTTP request
+	traced    bool   // the submission was traced; the runner re-opens a trace under reqID
 	state     string
 	submitted time.Time
 	started   time.Time
@@ -167,8 +169,11 @@ func (q *jobQueue) retireLocked(j *job) {
 	}
 }
 
-// submit enqueues a solve request and returns its job id.
-func (q *jobQueue) submit(req SolveRequest) (string, error) {
+// submit enqueues a solve request and returns its job id. reqID is the
+// submitting request's observability id (stamped into the eventual
+// result); traced propagates the submission's tracing decision so the
+// async solve keeps the root trace id.
+func (q *jobQueue) submit(req SolveRequest, reqID string, traced bool) (string, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -178,6 +183,8 @@ func (q *jobQueue) submit(req SolveRequest) (string, error) {
 	j := &job{
 		id:        fmt.Sprintf("job-%d", q.nextID),
 		req:       req,
+		reqID:     reqID,
+		traced:    traced,
 		state:     JobQueued,
 		submitted: time.Now(),
 		cancel:    make(chan struct{}),

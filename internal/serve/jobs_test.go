@@ -113,14 +113,14 @@ func waitState(t *testing.T, q *jobQueue, id, want string) JobStatus {
 func TestJobCancellation(t *testing.T) {
 	q, release := blockQueue(t, 1, 4)
 
-	first, err := q.submit(SolveRequest{})
+	first, err := q.submit(SolveRequest{}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, q, first, JobRunning)
 
 	// A job queued behind the running one cancels without ever starting.
-	second, err := q.submit(SolveRequest{})
+	second, err := q.submit(SolveRequest{}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestJobCancellation(t *testing.T) {
 		t.Fatalf("second cancel: ok=%v err=%v", ok, err)
 	}
 
-	third, err := q.submit(SolveRequest{})
+	third, err := q.submit(SolveRequest{}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,18 +160,18 @@ func TestJobCancellation(t *testing.T) {
 
 func TestJobQueueAdmissionControl(t *testing.T) {
 	q, _ := blockQueue(t, 1, 2)
-	first, err := q.submit(SolveRequest{})
+	first, err := q.submit(SolveRequest{}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, q, first, JobRunning)
 	// Worker busy: the backlog holds exactly `depth` jobs.
 	for i := 0; i < 2; i++ {
-		if _, err := q.submit(SolveRequest{}); err != nil {
+		if _, err := q.submit(SolveRequest{}, "", false); err != nil {
 			t.Fatalf("submit %d within depth: %v", i, err)
 		}
 	}
-	if _, err := q.submit(SolveRequest{}); err != ErrQueueFull {
+	if _, err := q.submit(SolveRequest{}, "", false); err != ErrQueueFull {
 		t.Fatalf("submit beyond depth: err=%v, want ErrQueueFull", err)
 	}
 	if got := q.m.jobsRejected.Load(); got != 1 {
@@ -191,7 +191,7 @@ func TestJobHistoryBounded(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 5; i++ {
-		id, err := q.submit(SolveRequest{})
+		id, err := q.submit(SolveRequest{}, "", false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +213,7 @@ func TestJobHistoryBounded(t *testing.T) {
 	}
 
 	q.close()
-	if _, err := q.submit(SolveRequest{}); err != ErrClosed {
+	if _, err := q.submit(SolveRequest{}, "", false); err != ErrClosed {
 		t.Fatalf("submit after close: err=%v, want ErrClosed", err)
 	}
 }

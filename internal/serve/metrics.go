@@ -1,11 +1,21 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
 
-// metrics is the service's counter block. Counters are plain atomics —
-// cheap enough for every request path to touch — and are exported in one
-// consistent snapshot via Server.Metrics (served at /metrics and
-// publishable through expvar).
+	"oipa/internal/core"
+	"oipa/internal/obs"
+)
+
+// metrics is the service's counter block plus its latency histograms.
+// Counters are plain atomics and histogram observations are one atomic
+// add — cheap enough for every request path to touch — and are exported
+// in one consistent snapshot via Server.Metrics (served at /metrics as
+// JSON, at /metrics?format=prometheus as text exposition, and
+// publishable through expvar). disabled (set once before serving, never
+// mutated after) turns every histogram observation into a no-op; the
+// benchmark harness uses it to measure the instrumentation's own cost.
 type metrics struct {
 	solveRequests    atomic.Int64
 	estimateRequests atomic.Int64
@@ -24,6 +34,8 @@ type metrics struct {
 	shedTotal         atomic.Int64 // requests rejected by overload protection (429/503 + Retry-After)
 	panicsTotal       atomic.Int64 // panics contained by handler/job/registry recovery
 	degradedSolves    atomic.Int64 // deadline-expired solves answered with their incumbent
+	slowRequests      atomic.Int64 // requests past the slow-request log threshold
+	tracedRequests    atomic.Int64 // requests that carried a span tree (debug or sampled)
 
 	prepares           atomic.Int64 // core.PrepareLayouts invocations
 	extends            atomic.Int64 // growth steps: delta sampling + Index.ExtendFrom
@@ -42,10 +54,112 @@ type metrics struct {
 	jobsFailed    atomic.Int64
 	jobsCanceled  atomic.Int64
 	jobsRejected  atomic.Int64 // queue full
+
+	// Solver-work aggregates, summed over every completed solve (sync
+	// and async) so /metrics shows where branch-and-bound effort goes
+	// fleet-wide, not just per response.
+	solverNodes      atomic.Int64
+	solverBoundEvals atomic.Int64
+	solverTauEvals   atomic.Int64
+	solverSketchEv   atomic.Int64
+	solverReVerify   atomic.Int64
+
+	// Latency histograms (lock-free, log-bucketed; see internal/obs):
+	// request latency per endpoint class, admission-queue wait, and the
+	// registry's artifact phases. Quantiles and bucket arrays surface in
+	// the JSON snapshot; the Prometheus exposition emits the full
+	// cumulative bucket series.
+	latSolve    obs.Histogram
+	latEstimate obs.Histogram
+	latSimulate obs.Histogram
+	latAdmit    obs.Histogram
+
+	phasePrepare obs.Histogram // full preparation (sampling + index build)
+	phaseExtend  obs.Histogram // growth step (delta sampling + index delta)
+	phaseIndex   obs.Histogram // index work alone (build on prepare, delta on extend)
+	phaseShrink  obs.Histogram // governor re-materializations
+
+	disabled bool // skip histogram observes (benchmark overhead mode)
 }
 
-// MetricsSnapshot is one consistent-enough read of every service counter,
-// shaped for JSON (/metrics) and expvar publication.
+// observe records one duration unless observability is disabled.
+func (m *metrics) observe(h *obs.Histogram, d time.Duration) {
+	if m.disabled {
+		return
+	}
+	h.Observe(d)
+}
+
+// latency returns the request-latency histogram for an endpoint class
+// (nil for classes without one — cheap reads are not histogrammed).
+func (m *metrics) latency(endpoint string) *obs.Histogram {
+	switch endpoint {
+	case "solve":
+		return &m.latSolve
+	case "estimate":
+		return &m.latEstimate
+	case "simulate":
+		return &m.latSimulate
+	}
+	return nil
+}
+
+// addSolverStats folds one solve's work counters into the aggregates.
+func (m *metrics) addSolverStats(st core.SolverStats) {
+	m.solverNodes.Add(int64(st.Nodes))
+	m.solverBoundEvals.Add(int64(st.BoundEvals))
+	m.solverTauEvals.Add(st.TauEvals)
+	m.solverSketchEv.Add(st.SketchEvals)
+	m.solverReVerify.Add(st.ReVerifyEvals)
+}
+
+// HistogramStats is the JSON form of one latency histogram: count,
+// mean, bucket-derived quantiles (upper-bound estimates, ≤25% relative
+// overestimate by the log-linear layout), and the non-empty buckets.
+type HistogramStats struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	// Buckets lists the non-empty buckets as (upper bound in ms, raw
+	// count) pairs — the full mergeable distribution, not just the
+	// quantile summary.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty histogram bucket.
+type HistogramBucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+func histStats(h *obs.Histogram) HistogramStats {
+	s := h.Snapshot()
+	hs := HistogramStats{
+		Count:  s.Count,
+		MeanMS: float64(s.Mean()) / float64(time.Millisecond),
+		P50MS:  float64(s.Quantile(0.50)) / float64(time.Millisecond),
+		P95MS:  float64(s.Quantile(0.95)) / float64(time.Millisecond),
+		P99MS:  float64(s.Quantile(0.99)) / float64(time.Millisecond),
+	}
+	for i, c := range s.Counts {
+		if c > 0 {
+			hs.Buckets = append(hs.Buckets, HistogramBucket{
+				LeMS:  float64(obs.BucketBound(i)) / float64(time.Millisecond),
+				Count: c,
+			})
+		}
+	}
+	return hs
+}
+
+// MetricsSnapshot is one consistent-enough read of every service
+// counter, shaped for JSON (/metrics) and expvar publication. Each
+// atomic is loaded exactly once, so two snapshot fields fed by the same
+// counter (Solves.Inflight and Server.Inflight.Solve) always agree
+// within a snapshot; distinct counters may still straddle in-flight
+// updates relative to each other.
 type MetricsSnapshot struct {
 	Requests struct {
 		Solve    int64 `json:"solve"`
@@ -72,14 +186,32 @@ type MetricsSnapshot struct {
 		// shape, …). Exact-mode requests below the θ gate count as neither.
 		SketchEstimates int64 `json:"sketch_estimates"`
 		SketchFallbacks int64 `json:"sketch_fallbacks"`
+		SlowRequests    int64 `json:"slow_requests"`
+		TracedRequests  int64 `json:"traced_requests"`
 		AdmitQueued     int   `json:"admit_queued"` // gauge: requests waiting for admission
 		Draining        bool  `json:"draining"`
-		Inflight       struct {
+		Inflight        struct {
 			Solve    int64 `json:"solve"`
 			Estimate int64 `json:"estimate"`
 			Simulate int64 `json:"simulate"`
 		} `json:"inflight"`
 	} `json:"server"`
+	// Latency carries the per-endpoint-class request-latency histograms
+	// and the admission-queue wait distribution.
+	Latency struct {
+		Solve     HistogramStats `json:"solve"`
+		Estimate  HistogramStats `json:"estimate"`
+		Simulate  HistogramStats `json:"simulate"`
+		AdmitWait HistogramStats `json:"admit_wait"`
+	} `json:"latency"`
+	// Solver aggregates core.SolverStats over every completed solve.
+	Solver struct {
+		Nodes         int64 `json:"nodes"`
+		BoundEvals    int64 `json:"bound_evals"`
+		TauEvals      int64 `json:"tau_evals"`
+		SketchEvals   int64 `json:"sketch_evals"`
+		ReVerifyEvals int64 `json:"reverify_evals"`
+	} `json:"solver"`
 	Registry struct {
 		Prepares           int64 `json:"prepares"`
 		Extends            int64 `json:"extends"`
@@ -98,6 +230,15 @@ type MetricsSnapshot struct {
 		LayoutHits         int64 `json:"layout_hits"`
 		LayoutMisses       int64 `json:"layout_misses"`
 		Layouts            int   `json:"layouts"`
+		// Phase is the registry's artifact-lifecycle timing: full
+		// preparations, growth steps, the index share of both, and
+		// governor shrinks.
+		Phase struct {
+			Prepare HistogramStats `json:"prepare"`
+			Extend  HistogramStats `json:"extend"`
+			Index   HistogramStats `json:"index"`
+			Shrink  HistogramStats `json:"shrink"`
+		} `json:"phase"`
 	} `json:"registry"`
 	Jobs struct {
 		Submitted int64 `json:"submitted"`
@@ -107,6 +248,9 @@ type MetricsSnapshot struct {
 		Rejected  int64 `json:"rejected"`
 		Queued    int   `json:"queued"`
 	} `json:"jobs"`
+	// Runtime is the Go runtime's health block (heap, GC, goroutines),
+	// read per scrape.
+	Runtime obs.RuntimeStats `json:"runtime"`
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
@@ -116,7 +260,10 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Requests.Simulate = m.simulateRequests.Load()
 	s.Requests.Jobs = m.jobRequests.Load()
 	s.Requests.Errors = m.requestErrors.Load()
-	s.Solves.Inflight = m.inflightSolves.Load()
+	// One load serves both views of the solve gauge — they must agree
+	// within a snapshot.
+	inflightSolves := m.inflightSolves.Load()
+	s.Solves.Inflight = inflightSolves
 	s.Solves.Total = m.solvesTotal.Load()
 	s.Solves.Errors = m.solveErrors.Load()
 	s.Server.ShedTotal = m.shedTotal.Load()
@@ -124,9 +271,20 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Server.DegradedSolves = m.degradedSolves.Load()
 	s.Server.SketchEstimates = m.sketchEstimates.Load()
 	s.Server.SketchFallbacks = m.sketchFallbacks.Load()
-	s.Server.Inflight.Solve = m.inflightSolves.Load()
+	s.Server.SlowRequests = m.slowRequests.Load()
+	s.Server.TracedRequests = m.tracedRequests.Load()
+	s.Server.Inflight.Solve = inflightSolves
 	s.Server.Inflight.Estimate = m.inflightEstimates.Load()
 	s.Server.Inflight.Simulate = m.inflightSimulates.Load()
+	s.Latency.Solve = histStats(&m.latSolve)
+	s.Latency.Estimate = histStats(&m.latEstimate)
+	s.Latency.Simulate = histStats(&m.latSimulate)
+	s.Latency.AdmitWait = histStats(&m.latAdmit)
+	s.Solver.Nodes = m.solverNodes.Load()
+	s.Solver.BoundEvals = m.solverBoundEvals.Load()
+	s.Solver.TauEvals = m.solverTauEvals.Load()
+	s.Solver.SketchEvals = m.solverSketchEv.Load()
+	s.Solver.ReVerifyEvals = m.solverReVerify.Load()
 	s.Registry.Prepares = m.prepares.Load()
 	s.Registry.Extends = m.extends.Load()
 	s.Registry.IndexExtendNS = m.indexExtendNS.Load()
@@ -138,6 +296,10 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Registry.InstanceMisses = m.instanceMisses.Load()
 	s.Registry.SingleflightWaits = m.singleflightWaits.Load()
 	s.Registry.InstanceEvictions = m.instanceEvictions.Load()
+	s.Registry.Phase.Prepare = histStats(&m.phasePrepare)
+	s.Registry.Phase.Extend = histStats(&m.phaseExtend)
+	s.Registry.Phase.Index = histStats(&m.phaseIndex)
+	s.Registry.Phase.Shrink = histStats(&m.phaseShrink)
 	s.Jobs.Submitted = m.jobsSubmitted.Load()
 	s.Jobs.Done = m.jobsDone.Load()
 	s.Jobs.Failed = m.jobsFailed.Load()

@@ -15,6 +15,7 @@ import (
 	"oipa/internal/faultpoint"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
+	"oipa/internal/obs"
 	"oipa/internal/rrset"
 	"oipa/internal/topic"
 )
@@ -362,10 +363,15 @@ func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Ca
 		// error — their own contexts may be perfectly healthy.
 		return fail(errPrepareAborted, err)
 	}
-	inst, err := r.prepareContained(ctx, campaign, theta, seed)
+	prepCtx, sp := obs.StartSpan(ctx, "prepare")
+	prepStart := time.Now()
+	inst, err := r.prepareContained(prepCtx, campaign, theta, seed)
+	sp.End()
 	if err != nil {
 		return fail(err, err)
 	}
+	r.m.observe(&r.m.phasePrepare, time.Since(prepStart))
+	r.m.observe(&r.m.phaseIndex, inst.IndexTime)
 	art := &Artifact{theta: theta, inst: inst, evals: core.NewEvaluatorPool(inst)}
 	e.art.Store(art)
 	r.account(e, inst.MemUsage())
@@ -406,8 +412,14 @@ func (r *Registry) serveEntry(ctx context.Context, e *entry, campaign topic.Camp
 	if e.poisoned.Load() {
 		return r.reprepareEntry(ctx, e, campaign, theta, seed)
 	}
+	growCtx, sp := obs.StartSpan(ctx, "grow")
+	growStart := time.Now()
 	a := e.art.Load()
-	na, err := r.growContained(ctx, e, a, theta)
+	na, err := r.growContained(growCtx, e, a, theta)
+	sp.End()
+	if err == nil {
+		r.m.observe(&r.m.phaseExtend, time.Since(growStart))
+	}
 	if err != nil {
 		// The old snapshot is untouched and stays published; a later
 		// request may retry the growth (or, after a panic, trigger the
@@ -449,6 +461,9 @@ func (r *Registry) growContained(ctx context.Context, e *entry, a *Artifact, the
 	}
 	r.m.extends.Add(1)
 	r.m.indexExtendNS.Add(inst.IndexTime.Nanoseconds())
+	// After ExtendToCtx the instance's IndexTime covers only the O(Δθ)
+	// delta — exactly the index share of this growth step.
+	r.m.observe(&r.m.phaseIndex, inst.IndexTime)
 	a.evals.EnsureTheta(theta)
 	return &Artifact{theta: theta, inst: inst, evals: a.evals}, nil
 }
@@ -462,10 +477,15 @@ func (r *Registry) growContained(ctx context.Context, e *entry, a *Artifact, the
 // chaos suite pins exactly this. On failure the entry stays poisoned
 // and its snapshot keeps serving.
 func (r *Registry) reprepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
-	inst, err := r.prepareContained(ctx, campaign, theta, seed)
+	prepCtx, sp := obs.StartSpan(ctx, "prepare")
+	prepStart := time.Now()
+	inst, err := r.prepareContained(prepCtx, campaign, theta, seed)
+	sp.End()
 	if err != nil {
 		return nil, OutcomeMiss, err
 	}
+	r.m.observe(&r.m.phasePrepare, time.Since(prepStart))
+	r.m.observe(&r.m.phaseIndex, inst.IndexTime)
 	na := &Artifact{theta: theta, inst: inst, evals: core.NewEvaluatorPool(inst)}
 	e.art.Store(na)
 	e.poisoned.Store(false)
@@ -782,10 +802,12 @@ func (r *Registry) shrinkEntry(e *entry, target int) {
 	if a == nil || a.Theta() <= target {
 		return
 	}
+	shrinkStart := time.Now()
 	inst, err := a.inst.ShrinkTo(target)
 	if err != nil {
 		return
 	}
+	r.m.observe(&r.m.phaseShrink, time.Since(shrinkStart))
 	// A fresh evaluator pool sized at the shrunk θ: the old pool's
 	// θ-sized scratch arrays would otherwise keep (a multiple of) the
 	// shed bytes alive.

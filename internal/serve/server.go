@@ -71,9 +71,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"oipa/internal/cascade"
@@ -81,6 +84,7 @@ import (
 	"oipa/internal/faultpoint"
 	"oipa/internal/graph"
 	"oipa/internal/logistic"
+	"oipa/internal/obs"
 	"oipa/internal/topic"
 )
 
@@ -147,6 +151,26 @@ type Config struct {
 	// negative means no queue): requests beyond it — or whose deadline
 	// expires while queued — are shed with 429 + Retry-After.
 	AdmitQueue int
+
+	// Logger receives one structured record per instrumented request:
+	// request id, endpoint, campaign, θ, method, status, duration — and
+	// the span tree when the request was traced. nil disables request
+	// logging (metrics and traces still work).
+	Logger *slog.Logger
+	// SlowRequest, when positive, marks requests slower than this with a
+	// warn-level "slow request" record (slow_requests counts them even
+	// without a Logger).
+	SlowRequest time.Duration
+	// TraceSample is the fraction of requests traced without an explicit
+	// ?debug=trace — deterministic every-Nth sampling, so 0.01 traces
+	// every 100th request. Sampled span trees go to the Logger;
+	// ?debug=trace additionally returns the tree inline in the response.
+	// 0 disables sampling.
+	TraceSample float64
+	// DisableObs turns off histogram observations and trace sampling
+	// (plain counters still run). The benchmark harness uses it to
+	// measure the instrumentation's own overhead.
+	DisableObs bool
 }
 
 func (c *Config) fillDefaults() {
@@ -210,6 +234,10 @@ type Server struct {
 
 	admit    *admission // weighted overload valve for the heavy endpoints
 	inflight drainGroup // admitted-request tracking for graceful drain
+
+	logger     *slog.Logger
+	traceEvery int64        // trace every Nth request (0 = sampling off)
+	traceSeq   atomic.Int64 // request counter driving the sampler
 }
 
 // New validates the configuration and assembles the service.
@@ -224,9 +252,19 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: default model: %w", err)
 	}
-	s := &Server{cfg: cfg, g: cfg.Graph}
+	s := &Server{cfg: cfg, g: cfg.Graph, logger: cfg.Logger}
 	if cfg.SketchK < 0 {
 		return nil, fmt.Errorf("serve: negative sketch k %d", cfg.SketchK)
+	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return nil, fmt.Errorf("serve: trace sample rate %v outside [0,1]", cfg.TraceSample)
+	}
+	s.m.disabled = cfg.DisableObs
+	if cfg.TraceSample > 0 && !cfg.DisableObs {
+		s.traceEvery = int64(math.Round(1 / cfg.TraceSample))
+		if s.traceEvery < 1 {
+			s.traceEvery = 1
+		}
 	}
 	s.reg = newRegistry(cfg.Graph, cfg.Pool, cfg.Model, cfg.LayoutCapacity, cfg.InstanceCapacity, cfg.MemBudget, cfg.MemEpoch, cfg.SketchK, &s.m)
 	s.reg.startGovernor(cfg.MemTick)
@@ -281,6 +319,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.Jobs.Queued = s.jobs.queued()
 	snap.Server.AdmitQueued = s.admit.queued()
 	snap.Server.Draining = s.inflight.isDraining()
+	snap.Runtime = obs.ReadRuntime()
 	return snap
 }
 
@@ -297,12 +336,120 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.withRecover(s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.withRecover(s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.withRecover(s.handleMetrics))
-	s.mux.HandleFunc("/v1/solve", s.withRecover(s.handleSolve))
-	s.mux.HandleFunc("/v1/estimate", s.withRecover(s.handleEstimate))
-	s.mux.HandleFunc("/v1/simulate", s.withRecover(s.handleSimulate))
+	s.mux.HandleFunc("/v1/solve", s.instrument("solve", s.withRecover(s.handleSolve)))
+	s.mux.HandleFunc("/v1/estimate", s.instrument("estimate", s.withRecover(s.handleEstimate)))
+	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.withRecover(s.handleSimulate)))
 	s.mux.HandleFunc("/v1/jobs", s.withRecover(s.handleJobs))
 	s.mux.HandleFunc("/v1/jobs/", s.withRecover(s.handleJob))
 	s.mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// reqInfo is the per-request observability state threaded through the
+// instrumented handlers via the request context: the generated request
+// id, the endpoint class, the parsed request labels the handler fills in
+// once it has them, and the trace (nil unless the request is debugged or
+// sampled).
+type reqInfo struct {
+	id       string
+	endpoint string
+	campaign string
+	theta    int
+	method   string
+	debug    bool // ?debug=trace: return the span tree inline
+	trace    *obs.Trace
+}
+
+type reqInfoKey struct{}
+
+// requestInfo retrieves the instrumented request state (nil on paths
+// that bypass the middleware, e.g. direct solver calls in tests).
+func requestInfo(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the observability middleware for the heavy endpoints:
+// it assigns a request id, decides tracing (?debug=trace always traces;
+// otherwise deterministic every-Nth sampling per Config.TraceSample),
+// captures the response status, feeds the endpoint's latency histogram,
+// counts slow requests against Config.SlowRequest, and emits one
+// structured log record per request — with the span tree attached when
+// the request was traced. It wraps OUTSIDE withRecover so a contained
+// panic still produces a log record and a latency observation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{id: obs.NewRequestID(), endpoint: endpoint}
+		ctx := r.Context()
+		if !s.m.disabled {
+			ri.debug = r.URL.Query().Get("debug") == "trace"
+			if ri.debug || (s.traceEvery > 0 && s.traceSeq.Add(1)%s.traceEvery == 0) {
+				ctx, ri.trace = obs.NewTrace(ctx, ri.id, endpoint)
+				s.m.tracedRequests.Add(1)
+			}
+		}
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+
+		dur := time.Since(start)
+		if hg := s.m.latency(endpoint); hg != nil {
+			s.m.observe(hg, dur)
+		}
+		slow := s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest
+		if slow {
+			s.m.slowRequests.Add(1)
+		}
+		var tree *obs.SpanTree
+		if ri.trace != nil {
+			tree = ri.trace.Finish()
+		}
+		if s.logger != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			level, msg := slog.LevelInfo, "request"
+			if slow {
+				level, msg = slog.LevelWarn, "slow request"
+			}
+			attrs := []slog.Attr{
+				slog.String("request_id", ri.id),
+				slog.String("endpoint", ri.endpoint),
+				slog.Int("status", status),
+				slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+			}
+			if ri.campaign != "" {
+				attrs = append(attrs, slog.String("campaign", ri.campaign))
+			}
+			if ri.theta > 0 {
+				attrs = append(attrs, slog.Int("theta", ri.theta))
+			}
+			if ri.method != "" {
+				attrs = append(attrs, slog.String("method", ri.method))
+			}
+			if slow {
+				attrs = append(attrs, slog.Bool("slow", true))
+			}
+			if tree != nil {
+				attrs = append(attrs, slog.Any("trace", tree))
+			}
+			s.logger.LogAttrs(context.Background(), level, msg, attrs...)
+		}
+	}
 }
 
 // withRecover is the panic-isolation middleware: a panic anywhere in a
@@ -387,6 +534,14 @@ type SolveResponse struct {
 	// before adoption), "exact" otherwise. Empty for methods without
 	// interior evaluations (im, tim).
 	EstimateMode string `json:"estimate_mode,omitempty"`
+	// RequestID is the server-assigned id of the request that produced
+	// this response (for async solves: of the submission). It keys the
+	// structured request log and any sampled trace.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the request's span tree, returned inline when the request
+	// asked for it with ?debug=trace (async solves traced at submission
+	// carry it in the job result).
+	Trace *obs.SpanTree `json:"trace,omitempty"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate: MRR-estimate the
@@ -415,6 +570,9 @@ type EstimateResponse struct {
 	PrefixHit     bool   `json:"prefix_hit,omitempty"`
 	Extended      bool   `json:"extended,omitempty"`
 	PreparedTheta int    `json:"prepared_theta,omitempty"`
+	// RequestID / Trace: see SolveResponse.
+	RequestID string        `json:"request_id,omitempty"`
+	Trace     *obs.SpanTree `json:"trace,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: forward Monte-Carlo
@@ -466,6 +624,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
@@ -491,7 +655,12 @@ func (s *Server) acquireSlot(ctx context.Context, weight int64) (func(), error) 
 	if err := s.inflight.enter(); err != nil {
 		return nil, err
 	}
-	if err := s.admit.acquire(ctx, weight); err != nil {
+	_, sp := obs.StartSpan(ctx, "admit")
+	waitStart := time.Now()
+	err := s.admit.acquire(ctx, weight)
+	s.m.observe(&s.m.latAdmit, time.Since(waitStart))
+	sp.End()
+	if err != nil {
 		s.inflight.leave()
 		return nil, err
 	}
@@ -541,13 +710,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
+	ri := requestInfo(r.Context())
+	if ri != nil {
+		ri.campaign, ri.theta, ri.method = campaignLabel(req.Campaign), req.Theta, req.Method
+	}
 	if req.Async {
-		id, err := s.jobs.submit(req)
+		reqID, traced := "", false
+		if ri != nil {
+			reqID, traced = ri.id, ri.trace != nil
+		}
+		id, err := s.jobs.submit(req, reqID, traced)
 		if err != nil {
 			s.error(w, http.StatusServiceUnavailable, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]string{"job": id, "poll": "/v1/jobs/" + id})
+		writeJSON(w, http.StatusAccepted, map[string]string{"job": id, "poll": "/v1/jobs/" + id, "request_id": reqID})
 		return
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
@@ -563,7 +740,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, err)
 		return
 	}
+	if ri != nil {
+		resp.RequestID = ri.id
+		if ri.debug && ri.trace != nil {
+			// The root span is still open (the middleware ends it after the
+			// response is written); Tree renders it with duration-so-far.
+			resp.Trace = ri.trace.Tree()
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// campaignLabel renders a campaign's piece names for log and trace
+// labels ("news+promo").
+func campaignLabel(c topic.Campaign) string {
+	names := make([]string, len(c.Pieces))
+	for i, p := range c.Pieces {
+		names[i] = p.Name
+	}
+	return strings.Join(names, "+")
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -587,6 +782,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
+	ri := requestInfo(r.Context())
+	if ri != nil {
+		ri.campaign, ri.theta = campaignLabel(req.Campaign), req.Theta
+	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
 	release, err := s.acquireSlot(ctx, weightEstimate)
@@ -597,7 +796,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.m.inflightEstimates.Add(1)
 	defer s.m.inflightEstimates.Add(-1)
-	art, outcome, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
+	regCtx, regSpan := obs.StartSpan(ctx, "registry")
+	art, outcome, err := s.reg.Instance(regCtx, req.Campaign, req.Theta, req.Seed)
+	regSpan.End()
 	if err != nil {
 		s.failRequest(w, err)
 		return
@@ -609,6 +810,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	util, mode := 0.0, "exact"
 	served := false
 	if s.sketchEligible(req.Theta) {
+		_, sp := obs.StartSpan(ctx, "estimate.sketch")
 		if inst, ierr := art.InstanceAt(req.Theta); ierr == nil {
 			if u, serr := inst.Index.EstimateAUSketch(req.Plan, model); serr == nil {
 				util, mode, served = u, "sketch", true
@@ -619,17 +821,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.m.sketchFallbacks.Add(1)
 		}
+		sp.End()
 	}
 	if !served {
+		_, sp := obs.StartSpan(ctx, "estimate.exact")
 		est := art.estimator()
 		util, err = est.EstimateAUPrefix(req.Plan, model, req.Theta)
 		art.putEstimator(est)
+		sp.End()
 		if err != nil {
 			s.error(w, http.StatusBadRequest, err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{
+	resp := EstimateResponse{
 		Utility:       util,
 		Theta:         req.Theta,
 		EstimateMode:  mode,
@@ -637,7 +842,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		PrefixHit:     outcome == OutcomePrefix,
 		Extended:      outcome == OutcomeExtend,
 		PreparedTheta: art.Theta(),
-	})
+	}
+	if ri != nil {
+		resp.RequestID = ri.id
+		if ri.debug && ri.trace != nil {
+			resp.Trace = ri.trace.Tree()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // sketchEligible gates the sketch estimator by θ: below 8·k the exact
@@ -787,7 +999,9 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	if err := faultpoint.Hit("serve.solve.pre"); err != nil {
 		return nil, err
 	}
-	art, outcome, err := s.reg.Instance(ctx, req.Campaign, req.Theta, req.Seed)
+	regCtx, regSpan := obs.StartSpan(ctx, "registry")
+	art, outcome, err := s.reg.Instance(regCtx, req.Campaign, req.Theta, req.Seed)
+	regSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -831,6 +1045,7 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	s.m.inflightSolves.Add(1)
 	defer s.m.inflightSolves.Add(-1)
 	s.m.solvesTotal.Add(1)
+	_, solveSpan := obs.StartSpan(ctx, "solve."+req.Method)
 	var res *core.Result
 	switch req.Method {
 	case "bab":
@@ -844,10 +1059,12 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	case "tim":
 		res, err = core.SolveTIM(inst)
 	}
+	solveSpan.End()
 	if err != nil {
 		s.m.solveErrors.Add(1)
 		return nil, err
 	}
+	s.m.addSolverStats(res.Stats)
 	// Graceful degradation: the deadline expired but the search still
 	// produced a valid incumbent via its Stop hook (BAB seeds the root
 	// with a fully evaluated greedy plan before the first expansion, so
@@ -904,9 +1121,22 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 
 // runJob executes one queued solve on a worker goroutine. The job's
 // cancel channel doubles as the registry-wait context and the solver's
-// Stop hook.
+// Stop hook. A job whose submission was traced opens a fresh trace
+// under the SAME request id — the async solve's span tree lands in the
+// job result, keyed to the submitting request.
 func (s *Server) runJob(j *job) {
-	resp, err := s.solve(stopCtx{stop: j.cancel}, j.req, j.cancel)
+	ctx := context.Context(stopCtx{stop: j.cancel})
+	var tr *obs.Trace
+	if j.traced && !s.m.disabled {
+		ctx, tr = obs.NewTrace(ctx, j.reqID, "solve")
+	}
+	resp, err := s.solve(ctx, j.req, j.cancel)
+	if resp != nil {
+		resp.RequestID = j.reqID
+		if tr != nil {
+			resp.Trace = tr.Finish()
+		}
+	}
 	s.jobs.complete(j, resp, err)
 }
 
