@@ -118,6 +118,23 @@ type sketchReport struct {
 	ExtendNS       int64   `json:"index_extend_sketch_ns"`
 }
 
+// multiplexReport compares single-graph and two-layer multiplex serving
+// over the same base graph and campaign: the layer-coupled sampling cost
+// (the sample_mrr_multiplex benchmark row is its ns/op), the preparation
+// split, and the spread gain the second diffusion layer buys at the same
+// budget — the serve tier's "layers" request field is priced by exactly
+// this delta.
+type multiplexReport struct {
+	Layers           int     `json:"layers"`
+	UniverseN        int     `json:"universe_n"`
+	Theta            int     `json:"theta"`
+	SampleMS         float64 `json:"sample_ms"`
+	IndexMS          float64 `json:"index_ms"`
+	SingleUtility    float64 `json:"single_utility"`
+	MultiplexUtility float64 `json:"multiplex_utility"`
+	SpreadGainPct    float64 `json:"spread_gain_pct"`
+}
+
 // serveLatency is the histogram-derived serve-path latency profile:
 // after a fixed traffic mix over HTTP-in-process, the quantiles come
 // straight out of the serve tier's lock-free latency histograms — the
@@ -159,12 +176,13 @@ type report struct {
 		M int `json:"m"`
 		Z int `json:"z"`
 	} `json:"graph"`
-	Benchmarks   []result      `json:"benchmarks"`
-	Sketch       *sketchReport `json:"sketch,omitempty"`
-	ThetaAscend  *thetaAscend  `json:"theta_ascend,omitempty"`
-	Saturation   *saturation   `json:"saturation,omitempty"`
-	ServeLatency *serveLatency `json:"serve_latency,omitempty"`
-	ObsOverhead  *obsOverhead  `json:"obs_overhead,omitempty"`
+	Benchmarks   []result         `json:"benchmarks"`
+	Sketch       *sketchReport    `json:"sketch,omitempty"`
+	Multiplex    *multiplexReport `json:"multiplex,omitempty"`
+	ThetaAscend  *thetaAscend     `json:"theta_ascend,omitempty"`
+	Saturation   *saturation      `json:"saturation,omitempty"`
+	ServeLatency *serveLatency    `json:"serve_latency,omitempty"`
+	ObsOverhead  *obsOverhead     `json:"obs_overhead,omitempty"`
 }
 
 func main() {
@@ -414,6 +432,8 @@ func main() {
 		}
 	})
 
+	rep.Multiplex = multiplexSection(run, g, pool, prob.Model, campaign, inst, *scale, *theta, *k)
+
 	rep.Saturation = saturate(g, pool, prob.Model, campaign, *theta, *k)
 	rep.ServeLatency, rep.ObsOverhead = serveObs(g, pool, prob.Model, campaign, *theta, *k)
 
@@ -483,6 +503,64 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// multiplexSection stacks a second independently generated lastfm layer
+// (same scale, so the identity embedding is total) over the base graph,
+// benchmarks the layer-coupled sampler against the single-graph
+// sample_mrr row, and solves the same campaign at the same budget on
+// both substrates to price the second layer's spread gain.
+func multiplexSection(run func(string, func(*testing.B)), g *graph.Graph, pool []int32, model logistic.Model, campaign topic.Campaign, single *core.Instance, scale float64, theta, k int) *multiplexReport {
+	layer, err := gen.LastfmSim(scale, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mx, err := graph.NewMultiplex(g.N(), []graph.MultiplexLayer{{G: g}, {G: layer.G}}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	muxLayouts := make([][]*graph.PieceLayout, campaign.L())
+	for j, piece := range campaign.Pieces {
+		if muxLayouts[j], err = mx.Layouts(piece.Dist); err != nil {
+			log.Fatal(err)
+		}
+	}
+	run("sample_mrr_multiplex", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rrset.SampleMRRMultiplexLayouts(mx, muxLayouts, theta, uint64(i)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	prob := &core.Problem{Mux: mx, Campaign: campaign, Pool: pool, K: k, Model: model}
+	minst, err := core.PrepareMultiplexLayouts(prob, muxLayouts, theta, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := core.SolveBABP(single, core.DefaultBABPOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mres, err := core.SolveBABP(minst, core.DefaultBABPOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := &multiplexReport{
+		Layers:           mx.L(),
+		UniverseN:        mx.N(),
+		Theta:            theta,
+		SampleMS:         float64(minst.SampleTime) / float64(time.Millisecond),
+		IndexMS:          float64(minst.IndexTime) / float64(time.Millisecond),
+		SingleUtility:    sres.Utility,
+		MultiplexUtility: mres.Utility,
+	}
+	if sres.Utility > 0 {
+		rep.SpreadGainPct = 100 * (mres.Utility - sres.Utility) / sres.Utility
+	}
+	log.Printf("multiplex: %d layers over n=%d: utility %.3f vs single %.3f (%+.1f%%); sample %.1f ms, index %.1f ms",
+		rep.Layers, rep.UniverseN, rep.MultiplexUtility, rep.SingleUtility, rep.SpreadGainPct, rep.SampleMS, rep.IndexMS)
+	return rep
 }
 
 // saturate drives a dedicated serve instance well past its admission

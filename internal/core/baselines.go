@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"oipa/internal/bitset"
 	"oipa/internal/im"
 	"oipa/internal/rrset"
 	"oipa/internal/topic"
@@ -21,18 +22,30 @@ import (
 // expected probability for a message with no topic information.
 func SolveIM(inst *Instance, seed uint64) (*Result, error) {
 	start := time.Now()
-	g := inst.Problem.G
-	z := g.Z()
-	uniform := make([]float64, z)
+	uniform := make([]float64, inst.Problem.Z())
 	for i := range uniform {
-		uniform[i] = 1 / float64(z)
+		uniform[i] = 1 / float64(len(uniform))
 	}
-	probs := g.PieceProbs(topic.FromDense(uniform))
-	lay, err := g.Layout(probs)
-	if err != nil {
-		return nil, err
+	var col *rrset.Collection
+	if mx := inst.Problem.Mux; mx != nil {
+		// Topic-agnostic over the multiplex: the uniform mixture's walk
+		// couples across layers exactly like the campaign pieces' walks.
+		lays, err := mx.Layouts(topic.FromDense(uniform))
+		if err != nil {
+			return nil, err
+		}
+		col, err = rrset.NewCollectionMultiplexLayouts(mx, lays, seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g := inst.Problem.G
+		lay, err := g.Layout(g.PieceProbs(topic.FromDense(uniform)))
+		if err != nil {
+			return nil, err
+		}
+		col = rrset.NewCollectionLayout(lay, seed)
 	}
-	col := rrset.NewCollectionLayout(lay, seed)
 	col.ExtendTo(inst.Theta())
 	cover, err := im.GreedyCover(col.View(), inst.Problem.Pool, inst.Problem.K)
 	if err != nil {
@@ -86,6 +99,111 @@ func SolveTIM(inst *Instance) (*Result, error) {
 		Utility: bestUtil,
 		Elapsed: time.Since(start),
 	}, nil
+}
+
+// SolveMDS is a structural baseline: a greedy minimal dominating set
+// over the promoter pool, assigned to the best single piece. Each round
+// takes the pool member whose closed out-neighborhood (itself plus its
+// out-neighbors — unioned across every layer it appears in, for a
+// multiplex) covers the most not-yet-dominated universe nodes, until
+// every node is dominated, the pool is exhausted of useful members, or
+// the budget k is spent. Domination is probability- and topic-blind: the
+// baseline tests how far pure coverage structure gets without the
+// diffusion model, which is exactly why the paper's utility-driven
+// methods should beat it.
+func SolveMDS(inst *Instance) (*Result, error) {
+	start := time.Now()
+	p := inst.Problem
+	n := p.N()
+	mark := bitset.NewStamp(n)
+	nbhd := make([][]int32, len(p.Pool))
+	for i, v := range p.Pool {
+		nbhd[i] = closedOutNeighborhood(p, v, mark)
+	}
+	dominated := make([]bool, n)
+	remaining := n
+	taken := make([]bool, len(p.Pool))
+	var seeds []int32
+	for len(seeds) < p.K && remaining > 0 {
+		best, bestGain := -1, 0
+		for i := range p.Pool {
+			if taken[i] {
+				continue
+			}
+			gain := 0
+			for _, u := range nbhd[i] {
+				if !dominated[u] {
+					gain++
+				}
+			}
+			// Strict > keeps the tie-break on pool order: deterministic
+			// for the golden test and independent of map iteration.
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		seeds = append(seeds, p.Pool[best])
+		for _, u := range nbhd[best] {
+			if !dominated[u] {
+				dominated[u] = true
+				remaining--
+			}
+		}
+	}
+	plan, util, err := bestSinglePiecePlan(inst, seeds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Method:  "MDS",
+		Plan:    plan,
+		Utility: util,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// closedOutNeighborhood collects v plus its out-neighbors as universe
+// ids, deduplicated across layers for a multiplex problem. mark is
+// caller-provided scratch over the universe.
+func closedOutNeighborhood(p *Problem, v int32, mark *bitset.Stamp) []int32 {
+	mark.Reset()
+	mark.Mark(int(v))
+	out := []int32{v}
+	if p.Mux == nil {
+		to, _ := p.G.OutNeighbors(v)
+		for _, u := range to {
+			if mark.MarkOnce(int(u)) {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	for a := 0; a < p.Mux.L(); a++ {
+		g := p.Mux.Layer(a)
+		lv := v
+		if toLocal := p.Mux.ToLocal(a); toLocal != nil {
+			lv = toLocal[v]
+		}
+		if lv < 0 || int(lv) >= g.N() {
+			continue // v absent from this layer
+		}
+		to, _ := g.OutNeighbors(lv)
+		toGlobal := p.Mux.ToGlobal(a)
+		for _, lu := range to {
+			u := lu
+			if toGlobal != nil {
+				u = toGlobal[lu]
+			}
+			if mark.MarkOnce(int(u)) {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
 }
 
 // bestSinglePiecePlan assigns seeds to each piece in turn and returns the

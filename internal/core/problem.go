@@ -36,21 +36,42 @@ import (
 	"oipa/internal/topic"
 )
 
-// Problem is an OIPA problem statement (Definition 1).
+// Problem is an OIPA problem statement (Definition 1). The diffusion
+// substrate is either a single graph (G) or an ordered layer set over a
+// shared node universe (Mux) — exactly one must be set. Pool members and
+// plan seeds are universe node ids in both cases, so everything past
+// sampling (solvers, estimators, plans) is substrate-agnostic.
 type Problem struct {
 	G        *graph.Graph
+	Mux      *graph.Multiplex
 	Campaign topic.Campaign
 	Pool     []int32 // V^p, the eligible promoters
 	K        int     // total promoter assignments available
 	Model    logistic.Model
 }
 
+// N returns the size of the problem's node universe.
+func (p *Problem) N() int {
+	if p.Mux != nil {
+		return p.Mux.N()
+	}
+	return p.G.N()
+}
+
+// Z returns the size of the problem's topic space.
+func (p *Problem) Z() int {
+	if p.Mux != nil {
+		return p.Mux.Z()
+	}
+	return p.G.Z()
+}
+
 // Validate checks the problem statement.
 func (p *Problem) Validate() error {
-	if p.G == nil {
-		return fmt.Errorf("core: nil graph")
+	if (p.G == nil) == (p.Mux == nil) {
+		return fmt.Errorf("core: exactly one of G and Mux must be set")
 	}
-	if err := p.Campaign.Validate(p.G.Z()); err != nil {
+	if err := p.Campaign.Validate(p.Z()); err != nil {
 		return fmt.Errorf("core: campaign: %w", err)
 	}
 	if len(p.Pool) == 0 {
@@ -58,7 +79,7 @@ func (p *Problem) Validate() error {
 	}
 	seen := make(map[int32]bool, len(p.Pool))
 	for _, v := range p.Pool {
-		if v < 0 || int(v) >= p.G.N() {
+		if v < 0 || int(v) >= p.N() {
 			return fmt.Errorf("core: pool member %d outside graph", v)
 		}
 		if seen[v] {
@@ -180,10 +201,13 @@ type Instance struct {
 	// order (see graph.PieceLayout). Sampling consumes them at Prepare
 	// time; cascade.EstimateAdoptionLayouts reuses them for forward
 	// validation, and parameter sweeps (WithK/WithModel) share them.
-	Layouts []*graph.PieceLayout
-	MRR     *rrset.MRRCollection
-	Index   *rrset.Index
-	Bounds  *logistic.BoundTable
+	// Multiplex instances leave Layouts nil and carry MuxLayouts
+	// instead: MuxLayouts[j][a] is piece j's layout on layer a.
+	Layouts    []*graph.PieceLayout
+	MuxLayouts [][]*graph.PieceLayout
+	MRR        *rrset.MRRCollection
+	Index      *rrset.Index
+	Bounds     *logistic.BoundTable
 
 	// SampleTime is how long MRR sampling took for THIS instance: the
 	// full sampling pass for a Prepare'd instance, only the growth step's
@@ -209,6 +233,9 @@ const maxPieces = 32
 func Prepare(p *Problem, theta int, seed uint64) (*Instance, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if p.Mux != nil {
+		return PrepareMultiplex(p, theta, seed)
 	}
 	l := p.Campaign.L()
 	if l > maxPieces {
@@ -257,6 +284,9 @@ func PrepareLayoutsCtx(ctx context.Context, p *Problem, layouts []*graph.PieceLa
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if p.Mux != nil {
+		return nil, fmt.Errorf("core: multiplex problems prepare through PrepareMultiplexLayouts")
+	}
 	l := p.Campaign.L()
 	if l > maxPieces {
 		return nil, fmt.Errorf("core: %d pieces exceed the %d-piece limit", l, maxPieces)
@@ -291,6 +321,91 @@ func PrepareLayoutsCtx(ctx context.Context, p *Problem, layouts []*graph.PieceLa
 	return &Instance{
 		Problem:    p,
 		Layouts:    layouts,
+		MRR:        mrr,
+		Index:      ix,
+		Bounds:     bounds,
+		SampleTime: sampleTime,
+		IndexTime:  indexTime,
+	}, nil
+}
+
+// PrepareMultiplex prepares an instance over a multiplex problem: every
+// campaign piece is materialized as one layout per layer (through the
+// multiplex's per-layer layout caches), the MRR samples are drawn with
+// the layer-generic walk, and the pool index and bound table are built
+// exactly as for a single graph. A multiplex holding one identity-mapped
+// layer prepares an instance whose samples — and therefore every solver
+// output — are bit-identical to Prepare over that layer's graph (pinned
+// by the single-layer golden test).
+func PrepareMultiplex(p *Problem, theta int, seed uint64) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Mux == nil {
+		return nil, fmt.Errorf("core: PrepareMultiplex needs a multiplex problem")
+	}
+	l := p.Campaign.L()
+	if l > maxPieces {
+		return nil, fmt.Errorf("core: %d pieces exceed the %d-piece limit", l, maxPieces)
+	}
+	layouts := make([][]*graph.PieceLayout, l)
+	for j, piece := range p.Campaign.Pieces {
+		lays, err := p.Mux.Layouts(piece.Dist)
+		if err != nil {
+			return nil, err
+		}
+		layouts[j] = lays
+	}
+	return PrepareMultiplexLayouts(p, layouts, theta, seed)
+}
+
+// PrepareMultiplexLayouts prepares a multiplex instance over prebuilt
+// per-piece per-layer layouts (layouts[j][a] is piece j on layer a, as
+// built by Multiplex.Layouts). Like PrepareLayouts it is the reentrant
+// path: layouts are immutable, so concurrent preparations over one
+// multiplex are safe.
+func PrepareMultiplexLayouts(p *Problem, layouts [][]*graph.PieceLayout, theta int, seed uint64) (*Instance, error) {
+	return PrepareMultiplexLayoutsCtx(context.Background(), p, layouts, theta, seed)
+}
+
+// PrepareMultiplexLayoutsCtx is PrepareMultiplexLayouts bounded by a
+// context, with PrepareLayoutsCtx's cancellation semantics.
+func PrepareMultiplexLayoutsCtx(ctx context.Context, p *Problem, layouts [][]*graph.PieceLayout, theta int, seed uint64) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Mux == nil {
+		return nil, fmt.Errorf("core: PrepareMultiplexLayouts needs a multiplex problem")
+	}
+	l := p.Campaign.L()
+	if l > maxPieces {
+		return nil, fmt.Errorf("core: %d pieces exceed the %d-piece limit", l, maxPieces)
+	}
+	if len(layouts) != l {
+		return nil, fmt.Errorf("core: %d piece layout sets for %d pieces", len(layouts), l)
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("core: non-positive theta %d", theta)
+	}
+	start := time.Now()
+	mrr, err := rrset.SampleMRRMultiplexLayoutsCtx(ctx, p.Mux, layouts, theta, seed)
+	if err != nil {
+		return nil, err
+	}
+	sampleTime := time.Since(start)
+	start = time.Now()
+	ix, err := mrr.BuildIndex(p.Pool)
+	if err != nil {
+		return nil, err
+	}
+	indexTime := time.Since(start)
+	bounds, err := logistic.NewBoundTableMode(p.Model, l, logistic.BoundHull)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Problem:    p,
+		MuxLayouts: layouts,
 		MRR:        mrr,
 		Index:      ix,
 		Bounds:     bounds,

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oipa/internal/gen"
+)
+
+func tinyMultiplexConfig() Config {
+	c := SmallConfig(gen.PresetLastfm)
+	c.Scale = 0.05
+	c.Theta = 500
+	c.K = 5
+	c.L = 2
+	return c
+}
+
+func TestFigureMultiplex(t *testing.T) {
+	c := tinyMultiplexConfig()
+	rows, err := FigureMultiplex(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Param != "layers" || r.X != float64(i+1) {
+			t.Fatalf("row %d: param %q x %v, want layers %d", i, r.Param, r.X, i+1)
+		}
+		if r.Method != MethodBABP {
+			t.Fatalf("row %d: method %q", i, r.Method)
+		}
+		if r.Utility <= 0 {
+			t.Fatalf("row %d: utility %v", i, r.Utility)
+		}
+	}
+	if _, err := FigureMultiplex(c, 0); err == nil {
+		t.Fatal("accepted an empty sweep")
+	}
+	if _, err := FigureMultiplex(c, 65); err == nil {
+		t.Fatal("accepted a sweep beyond the 64-layer key limit")
+	}
+}
+
+// TestCheckMultiplex exercises the CI cross-check bundle end to end on
+// stored graph files: the combined-graph replay must certify every
+// sample, and the solve must produce a usable plan.
+func TestCheckMultiplex(t *testing.T) {
+	dir := t.TempDir()
+	base, err := gen.LastfmSim(0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := gen.LastfmSim(0.05, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.graph")
+	layerPath := filepath.Join(dir, "layer.graph")
+	if err := base.G.Save(basePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.G.Save(layerPath); err != nil {
+		t.Fatal(err)
+	}
+
+	const l, k, theta, seed = 2, 5, 400, 3
+	chk, err := CheckMultiplex(basePath, []string{layerPath}, l, k, theta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Layers != 2 || chk.UniverseN != base.G.N() || chk.Pieces != l {
+		t.Fatalf("shape: %+v", chk)
+	}
+	if !chk.ReductionOK {
+		t.Fatalf("combined-graph reduction diverged at sample %d", chk.SamplesChecked)
+	}
+	if chk.SamplesChecked != theta {
+		t.Fatalf("samples checked %d, want %d", chk.SamplesChecked, theta)
+	}
+	if chk.Utility <= 0 || chk.Upper < chk.Utility {
+		t.Fatalf("utility %v upper %v", chk.Utility, chk.Upper)
+	}
+	if len(chk.Plan) != l {
+		t.Fatalf("plan has %d rows, want %d", len(chk.Plan), l)
+	}
+	seeds := 0
+	for _, row := range chk.Plan {
+		seeds += len(row)
+	}
+	if seeds == 0 || seeds > k {
+		t.Fatalf("plan places %d seeds, budget %d", seeds, k)
+	}
+
+	if _, err := CheckMultiplex(basePath, []string{layerPath}, 0, k, theta, seed); err == nil {
+		t.Fatal("accepted an empty campaign")
+	}
+	if _, err := CheckMultiplex(filepath.Join(dir, "missing.graph"), nil, l, k, theta, seed); err == nil {
+		t.Fatal("accepted a missing base graph")
+	}
+}

@@ -186,7 +186,7 @@ func (ix *Index) ExtendFrom(m *MRRCollection) (*Index, error) {
 		return nil, fmt.Errorf("rrset: cannot extend a prefix index; extend the full index it derives from")
 	}
 	v := m.View()
-	if v.g != ix.mrr.g || v.l != ix.mrr.l {
+	if v.sub != ix.mrr.sub || v.l != ix.mrr.l {
 		return nil, fmt.Errorf("rrset: collection does not match the indexed one")
 	}
 	oldTheta, newTheta := ix.mrr.Theta(), v.Theta()
@@ -442,5 +442,5 @@ func (ix *Index) EstimateAUWith(plan [][]int32, model logistic.Model, s *AUScrat
 		counts[i] = 0
 		pieceSeen[i] = 0
 	}
-	return float64(m.g.N()) * total / float64(m.Theta()), nil
+	return float64(m.n) * total / float64(m.Theta()), nil
 }

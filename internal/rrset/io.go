@@ -42,8 +42,14 @@ var ErrBadMRRMagic = errors.New("rrset: bad magic (not an OIPA MRR file)")
 // graph whose shape differs from the one it was sampled on.
 var ErrGraphMismatch = errors.New("rrset: collection was sampled on a different graph")
 
-// Write serializes the collection.
+// Write serializes the collection. Multiplex-sampled collections are
+// refused: the format records a single graph's shape, and a multiplex
+// collection is only meaningful against the exact layer set it was
+// sampled on.
 func (m *MRRCollection) Write(w io.Writer) error {
+	if m.g == nil {
+		return fmt.Errorf("rrset: multiplex collections do not serialize")
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(mrrMagic[:]); err != nil {
 		return err
@@ -125,8 +131,9 @@ func ReadMRR(r io.Reader, g *graph.Graph) (*MRRCollection, error) {
 		return nil, fmt.Errorf("rrset: corrupt header (l=%d, theta=%d)", l, theta)
 	}
 	m := &MRRCollection{
-		mrrCore: mrrCore{g: g, l: int(l), st: store{setsPerSample: int(l)}},
+		mrrCore: mrrCore{n: g.N(), l: int(l), sub: g, st: store{setsPerSample: int(l)}},
 		seed:    seed,
+		g:       g,
 	}
 	m.roots = make([]int32, theta)
 	var u32 [4]byte

@@ -34,11 +34,63 @@ func (s *sampler) sample(root int32, lay *graph.PieceLayout, rng *xrand.SplitMix
 	return append(out, order...)
 }
 
+// pieceSampler abstracts "draw piece j's RR set of root" over the two
+// sampling substrates: a single graph (mrrSampler) or a multiplex of
+// layers (muxSampler). One pieceSampler is private to one worker
+// goroutine; samplePiece appends the set's nodes (root first) to out.
+type pieceSampler interface {
+	samplePiece(root int32, j int, rng *xrand.SplitMix64, out []int32) []int32
+}
+
+// mrrSampler is the single-graph pieceSampler: the classic reverse walk
+// under the collection's per-piece layouts.
+type mrrSampler struct {
+	s       *sampler
+	layouts []*graph.PieceLayout
+}
+
+func (ms *mrrSampler) samplePiece(root int32, j int, rng *xrand.SplitMix64, out []int32) []int32 {
+	return ms.s.sample(root, ms.layouts[j], rng, out)
+}
+
+// muxSampler is the multiplex pieceSampler: the layer-generic reverse
+// walk of traverse.MultiWalker over one traverse.Layer set per piece.
+// Sets hold universe node ids, so everything downstream of sampling —
+// index, sketches, estimators, solvers — is substrate-agnostic.
+type muxSampler struct {
+	w      *traverse.MultiWalker
+	pieces [][]traverse.Layer
+}
+
+func (ms *muxSampler) samplePiece(root int32, j int, rng *xrand.SplitMix64, out []int32) []int32 {
+	order := ms.w.Run(ms.pieces[j], root, rng)
+	return append(out, order...)
+}
+
+// newPieceSampler returns a fresh per-worker sampler for the
+// collection's substrate.
+func (m *MRRCollection) newPieceSampler() pieceSampler {
+	if m.mux != nil {
+		pieces := make([][]traverse.Layer, len(m.muxLayouts))
+		for j, lays := range m.muxLayouts {
+			pieces[j] = make([]traverse.Layer, len(lays))
+			for a, lay := range lays {
+				pieces[j][a] = traverse.LayerOf(lay, m.mux.ToGlobal(a), m.mux.ToLocal(a))
+			}
+		}
+		return &muxSampler{w: traverse.NewMultiWalker(m.n, m.mux.LayerSizes()), pieces: pieces}
+	}
+	return &mrrSampler{s: newSampler(m.g), layouts: m.layouts}
+}
+
 // collCore is the read side shared by Collection and View: the sharded
-// store, the per-sample roots, and the estimator scratch. Methods are
-// not safe for concurrent use (they share scratch state).
+// store, the per-sample roots, and the estimator scratch. The substrate
+// is reduced to its node-universe size n — the only graph property the
+// read side needs — so single-graph and multiplex collections share one
+// read path. Methods are not safe for concurrent use (they share
+// scratch state).
 type collCore struct {
-	g     *graph.Graph
+	n     int
 	st    store
 	roots []int32
 
@@ -48,8 +100,8 @@ type collCore struct {
 // Theta returns the number of sampled RR sets.
 func (c *collCore) Theta() int { return len(c.roots) }
 
-// N returns the underlying graph's vertex count.
-func (c *collCore) N() int { return c.g.N() }
+// N returns the node-universe size the collection samples over.
+func (c *collCore) N() int { return c.n }
 
 // Set returns the i-th RR set (aliases internal storage).
 func (c *collCore) Set(i int) []int32 { return c.st.set(int64(i)) }
@@ -77,12 +129,12 @@ func (c *collCore) MemUsage() int64 { return c.st.memUsage() + int64(cap(c.roots
 // divide by θ.
 func (c *collCore) Coverage(seeds []int32) int {
 	if c.seedMark == nil {
-		c.seedMark = bitset.NewStamp(c.g.N())
+		c.seedMark = bitset.NewStamp(c.n)
 	}
 	c.seedMark.Reset()
 	marked := false
 	for _, v := range seeds {
-		if v >= 0 && int(v) < c.g.N() {
+		if v >= 0 && int(v) < c.n {
 			c.seedMark.Mark(int(v))
 			marked = true
 		}
@@ -111,7 +163,7 @@ func (c *collCore) EstimateSpread(seeds []int32) float64 {
 	if c.Theta() == 0 {
 		return 0
 	}
-	return float64(c.g.N()) * float64(c.Coverage(seeds)) / float64(c.Theta())
+	return float64(c.n) * float64(c.Coverage(seeds)) / float64(c.Theta())
 }
 
 // Collection is a growable set of single-piece RR sets with sharded
@@ -122,6 +174,11 @@ type Collection struct {
 	collCore
 	layout *graph.PieceLayout
 	seed   uint64
+
+	// Multiplex substrate (single-graph collections leave both nil):
+	// one layout per layer for the one piece being sampled.
+	mux       *graph.Multiplex
+	muxLayout []*graph.PieceLayout
 }
 
 // View is an immutable read-side snapshot of a Collection. It exposes
@@ -152,15 +209,34 @@ func NewCollection(g *graph.Graph, probs []float64, seed uint64) (*Collection, e
 // for cascade cross-validation) avoid rebuilding them.
 func NewCollectionLayout(lay *graph.PieceLayout, seed uint64) *Collection {
 	return &Collection{
-		collCore: collCore{g: lay.Graph(), st: store{setsPerSample: 1}},
+		collCore: collCore{n: lay.Graph().N(), st: store{setsPerSample: 1}},
 		layout:   lay,
 		seed:     seed,
 	}
 }
 
+// NewCollectionMultiplexLayouts returns an empty single-piece collection
+// sampling over a multiplex with the layer-generic walk: lays[a] is the
+// piece's layout on layer a (as built by Multiplex.Layouts). Sets hold
+// universe node ids, so the read side (View, Coverage, EstimateSpread)
+// is identical to a single-graph collection's; for a single
+// identity-mapped layer the sets are bit-identical to
+// NewCollectionLayout over that layer's graph.
+func NewCollectionMultiplexLayouts(mx *graph.Multiplex, lays []*graph.PieceLayout, seed uint64) (*Collection, error) {
+	if err := validateMuxLayouts(mx, [][]*graph.PieceLayout{lays}); err != nil {
+		return nil, err
+	}
+	return &Collection{
+		collCore:  collCore{n: mx.N(), st: store{setsPerSample: 1}},
+		seed:      seed,
+		mux:       mx,
+		muxLayout: lays,
+	}, nil
+}
+
 // View returns an immutable snapshot of the collection's current sets.
 func (c *Collection) View() *View {
-	return &View{collCore{g: c.g, st: c.st.snapshot(), roots: c.roots[:len(c.roots):len(c.roots)]}}
+	return &View{collCore{n: c.n, st: c.st.snapshot(), roots: c.roots[:len(c.roots):len(c.roots)]}}
 }
 
 // Prefix returns a view over the first theta sets of v. Because set i is
@@ -175,7 +251,7 @@ func (v *View) Prefix(theta int) (*View, error) {
 	if theta == v.Theta() {
 		return v, nil
 	}
-	return &View{collCore{g: v.g, st: v.st, roots: v.roots[:theta:theta]}}, nil
+	return &View{collCore{n: v.n, st: v.st, roots: v.roots[:theta:theta]}}, nil
 }
 
 // ExtendTo grows the collection to theta RR sets, in place: samples are
@@ -192,14 +268,30 @@ func (c *Collection) ExtendTo(theta int) {
 	}
 	count := theta - start
 	c.roots = append(c.roots, make([]int32, count)...)
-	n := uint64(c.g.N())
-	c.st.extend(c.g, count, func(s *sampler, i int, sh *shard) {
-		rng := xrand.Derive(c.seed, uint64(start+i))
-		root := int32(rng.Uint64n(n))
-		c.roots[start+i] = root
-		sh.nodes = s.sample(root, c.layout, rng, sh.nodes)
-		sh.closeSet()
+	n := uint64(c.n)
+	c.st.extend(count, func() func(i int, sh *shard) {
+		s := c.newPieceSampler()
+		return func(i int, sh *shard) {
+			rng := xrand.Derive(c.seed, uint64(start+i))
+			root := int32(rng.Uint64n(n))
+			c.roots[start+i] = root
+			sh.nodes = s.samplePiece(root, 0, rng, sh.nodes)
+			sh.closeSet()
+		}
 	})
+}
+
+// newPieceSampler returns a fresh per-worker sampler for the
+// collection's substrate (the single piece is piece 0).
+func (c *Collection) newPieceSampler() pieceSampler {
+	if c.mux != nil {
+		layers := make([]traverse.Layer, len(c.muxLayout))
+		for a, lay := range c.muxLayout {
+			layers[a] = traverse.LayerOf(lay, c.mux.ToGlobal(a), c.mux.ToLocal(a))
+		}
+		return &muxSampler{w: traverse.NewMultiWalker(c.n, c.mux.LayerSizes()), pieces: [][]traverse.Layer{layers}}
+	}
+	return &mrrSampler{s: newSampler(c.layout.Graph()), layouts: []*graph.PieceLayout{c.layout}}
 }
 
 // mrrCore is the read side shared by MRRCollection and MRRView: θ
@@ -207,8 +299,9 @@ func (c *Collection) ExtendTo(theta int) {
 // global set index i·ℓ+j. Estimator methods share scratch state and are
 // not safe for concurrent use.
 type mrrCore struct {
-	g     *graph.Graph
+	n     int
 	l     int
+	sub   any // substrate identity (*graph.Graph or *graph.Multiplex) for ExtendFrom matching
 	st    store
 	roots []int32
 
@@ -221,8 +314,9 @@ func (m *mrrCore) Theta() int { return len(m.roots) }
 // L returns the number of pieces.
 func (m *mrrCore) L() int { return m.l }
 
-// N returns the underlying graph's vertex count.
-func (m *mrrCore) N() int { return m.g.N() }
+// N returns the node-universe size the collection samples over (the
+// graph's vertex count, or a multiplex's shared-identity universe).
+func (m *mrrCore) N() int { return m.n }
 
 // Root returns the root of sample i.
 func (m *mrrCore) Root(i int) int32 { return m.roots[i] }
@@ -252,7 +346,7 @@ func (m *mrrCore) Shards() int { return m.st.numShards() }
 // mean to report), never NaN.
 func (m *mrrCore) EstimateAUScan(plan [][]int32, model logistic.Model) (float64, error) {
 	for len(m.planMark) < m.l {
-		m.planMark = append(m.planMark, bitset.NewStamp(m.g.N()))
+		m.planMark = append(m.planMark, bitset.NewStamp(m.n))
 	}
 	return m.estimateAUScanBounded(m.planMark, plan, model, m.Theta())
 }
@@ -282,7 +376,7 @@ func (m *mrrCore) estimateAUScanBounded(marks []*bitset.Stamp, plan [][]int32, m
 		st := marks[j]
 		st.Reset()
 		for _, v := range seeds {
-			if v >= 0 && int(v) < m.g.N() {
+			if v >= 0 && int(v) < m.n {
 				st.Mark(int(v))
 				active[j] = true
 			}
@@ -305,7 +399,7 @@ func (m *mrrCore) estimateAUScanBounded(marks []*bitset.Stamp, plan [][]int32, m
 		}
 		total += model.Adoption(count)
 	}
-	return float64(m.g.N()) * total / float64(theta), nil
+	return float64(m.n) * total / float64(theta), nil
 }
 
 // MRRCollection holds θ multi-RR samples over ℓ pieces in sharded
@@ -313,8 +407,16 @@ func (m *mrrCore) estimateAUScanBounded(marks []*bitset.Stamp, plan [][]int32, m
 // scratch state and are not safe for concurrent use.
 type MRRCollection struct {
 	mrrCore
-	seed    uint64
-	layouts []*graph.PieceLayout // nil when loaded from storage
+	seed uint64
+
+	// Exactly one sampling substrate is populated. Single graph: g plus
+	// one layout per piece. Multiplex: mux plus one layout per (piece,
+	// layer). Collections loaded from storage keep g for shape checks
+	// but carry no layouts (they cannot be extended).
+	g          *graph.Graph
+	layouts    []*graph.PieceLayout
+	mux        *graph.Multiplex
+	muxLayouts [][]*graph.PieceLayout // [piece][layer]
 
 	// rootsPinned marks collections whose roots were supplied by the
 	// caller (SampleMRRWithRoots) rather than derived from (seed, i);
@@ -322,6 +424,10 @@ type MRRCollection struct {
 	// ExtendTo refuses.
 	rootsPinned bool
 }
+
+// Multiplex returns the multiplex the collection samples over, or nil
+// for single-graph collections.
+func (m *MRRCollection) Multiplex() *graph.Multiplex { return m.mux }
 
 // MRRView is an immutable read-side snapshot of an MRRCollection, with
 // the same validity guarantee as View: it stays bit-identical even while
@@ -347,7 +453,7 @@ type AUEstimator struct {
 func (v *MRRView) NewEstimator() *AUEstimator {
 	marks := make([]*bitset.Stamp, v.l)
 	for j := range marks {
-		marks[j] = bitset.NewStamp(v.g.N())
+		marks[j] = bitset.NewStamp(v.n)
 	}
 	return &AUEstimator{v: v, marks: marks}
 }
@@ -371,7 +477,7 @@ func (e *AUEstimator) EstimateAUPrefix(plan [][]int32, model logistic.Model, the
 // View returns an immutable snapshot of the collection's current
 // samples.
 func (m *MRRCollection) View() *MRRView {
-	return &MRRView{mrrCore{g: m.g, l: m.l, st: m.st.snapshot(), roots: m.roots[:len(m.roots):len(m.roots)]}}
+	return &MRRView{mrrCore{n: m.n, l: m.l, sub: m.sub, st: m.st.snapshot(), roots: m.roots[:len(m.roots):len(m.roots)]}}
 }
 
 // Prefix returns a view over the first theta samples of v. MRR sample i
@@ -387,14 +493,15 @@ func (v *MRRView) Prefix(theta int) (*MRRView, error) {
 	if theta == v.Theta() {
 		return v, nil
 	}
-	return &MRRView{mrrCore{g: v.g, l: v.l, st: v.st, roots: v.roots[:theta:theta]}}, nil
+	return &MRRView{mrrCore{n: v.n, l: v.l, sub: v.sub, st: v.st, roots: v.roots[:theta:theta]}}, nil
 }
 
 // newMRRCollection returns an empty collection over prebuilt layouts.
 func newMRRCollection(g *graph.Graph, layouts []*graph.PieceLayout, seed uint64) *MRRCollection {
 	return &MRRCollection{
-		mrrCore: mrrCore{g: g, l: len(layouts), st: store{setsPerSample: len(layouts)}},
+		mrrCore: mrrCore{n: g.N(), l: len(layouts), sub: g, st: store{setsPerSample: len(layouts)}},
 		seed:    seed,
+		g:       g,
 		layouts: layouts,
 	}
 }
@@ -449,6 +556,61 @@ func SampleMRRLayoutsCtx(ctx context.Context, g *graph.Graph, layouts []*graph.P
 		return nil, err
 	}
 	return m, nil
+}
+
+// SampleMRRMultiplexLayouts draws theta multi-RR samples over a
+// multiplex: sample i derives its RNG and universe root from (seed, i)
+// with the exact calls the single-graph path makes, then walks every
+// piece with the layer-generic traverse.MultiWalker. layouts[j][a] is
+// piece j's layout on layer a (as built by Multiplex.Layouts). The
+// resulting collection stores universe node ids, so every downstream
+// consumer — Index, sketches, estimators, Prefix/ExtendTo/ShrinkTo — is
+// unchanged; for a single identity-mapped layer the samples are
+// bit-identical to SampleMRRLayouts over that layer's graph (pinned by
+// the multiplex golden tests).
+func SampleMRRMultiplexLayouts(mx *graph.Multiplex, layouts [][]*graph.PieceLayout, theta int, seed uint64) (*MRRCollection, error) {
+	return SampleMRRMultiplexLayoutsCtx(context.Background(), mx, layouts, theta, seed)
+}
+
+// SampleMRRMultiplexLayoutsCtx is SampleMRRMultiplexLayouts bounded by a
+// context, with ExtendToCtx's chunked-cancellation semantics.
+func SampleMRRMultiplexLayoutsCtx(ctx context.Context, mx *graph.Multiplex, layouts [][]*graph.PieceLayout, theta int, seed uint64) (*MRRCollection, error) {
+	if err := validateMuxLayouts(mx, layouts); err != nil {
+		return nil, err
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("rrset: non-positive theta %d", theta)
+	}
+	m := &MRRCollection{
+		mrrCore:    mrrCore{n: mx.N(), l: len(layouts), sub: mx, st: store{setsPerSample: len(layouts)}},
+		seed:       seed,
+		mux:        mx,
+		muxLayouts: layouts,
+	}
+	if err := m.ExtendToCtx(ctx, theta); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func validateMuxLayouts(mx *graph.Multiplex, layouts [][]*graph.PieceLayout) error {
+	if mx == nil {
+		return fmt.Errorf("rrset: nil multiplex")
+	}
+	if len(layouts) == 0 {
+		return fmt.Errorf("rrset: no pieces")
+	}
+	for j, lays := range layouts {
+		if len(lays) != mx.L() {
+			return fmt.Errorf("rrset: piece %d has %d layer layouts for %d layers", j, len(lays), mx.L())
+		}
+		for a, lay := range lays {
+			if lay == nil || lay.Graph() != mx.Layer(a) {
+				return fmt.Errorf("rrset: piece %d layout not built for multiplex layer %d", j, a)
+			}
+		}
+	}
+	return nil
 }
 
 // SampleMRRWithRoots draws one multi-RR sample per provided root. It
@@ -521,7 +683,7 @@ func (m *MRRCollection) ExtendToCtx(ctx context.Context, theta int) error {
 	if theta <= start {
 		return nil
 	}
-	if m.layouts == nil {
+	if m.layouts == nil && m.muxLayouts == nil {
 		return fmt.Errorf("rrset: collection loaded from storage has no piece layouts to extend with")
 	}
 	if m.rootsPinned {
@@ -531,7 +693,7 @@ func (m *MRRCollection) ExtendToCtx(ctx context.Context, theta int) error {
 	if ctx.Done() != nil && extendCtxChunk < chunk {
 		chunk = extendCtxChunk
 	}
-	n := uint64(m.g.N())
+	n := uint64(m.n)
 	for start < theta {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -571,15 +733,41 @@ func (m *MRRCollection) ShrinkTo(theta int) (*MRRCollection, error) {
 	}
 	return &MRRCollection{
 		mrrCore: mrrCore{
-			g:     m.g,
+			n:     m.n,
 			l:     m.l,
+			sub:   m.sub,
 			st:    m.st.compactPrefix(theta),
 			roots: append([]int32(nil), m.roots[:theta]...),
 		},
 		seed:        m.seed,
+		g:           m.g,
 		layouts:     m.layouts,
+		mux:         m.mux,
+		muxLayouts:  m.muxLayouts,
 		rootsPinned: m.rootsPinned,
 	}, nil
+}
+
+// DropSampleCounts releases the fused per-(piece,node) membership
+// counts and disables their maintenance for the rest of the
+// collection's life, returning the number of bytes reclaimed. The
+// counts exist solely so BuildIndex can size its inverted CSR without
+// re-walking the sets; once an entry's Index is built, ExtendFrom walks
+// only the delta samples and never consults them, so a registry that
+// keeps artifacts hot can shed the O(shards·ℓ·n) arrays. A later
+// BuildIndex over the same collection still works — it takes the
+// counting-walk path, which is golden-tested to produce an identical
+// CSR. Counts are never re-enabled after the drop: later extends would
+// miss the earlier samples, exactly the "dropped for good" rule the
+// memory budget enforces.
+func (m *MRRCollection) DropSampleCounts() int64 {
+	freed := int64(0)
+	for i := range m.st.shards {
+		freed += int64(cap(m.st.shards[i].counts)) * 4
+		m.st.shards[i].counts = nil
+	}
+	m.st.counted = false
+	return freed
 }
 
 // sampleRange samples the sets of roots [start, theta), which must
@@ -587,8 +775,8 @@ func (m *MRRCollection) ShrinkTo(theta int) (*MRRCollection, error) {
 // node) membership counting that BuildIndex consumes into the sampling
 // blocks.
 func (m *MRRCollection) sampleRange(start, theta int) {
-	n := uint64(m.g.N())
-	gn := m.g.N()
+	n := uint64(m.n)
+	gn := m.n
 	l := m.l
 	// Fused counting costs an ℓ·n int32 array per shard, retained for
 	// the collection's lifetime; only pay that when it is small next to
@@ -610,24 +798,27 @@ func (m *MRRCollection) sampleRange(start, theta int) {
 		}
 	}
 	counted := m.st.counted
-	m.st.extend(m.g, theta-start, func(s *sampler, i int, sh *shard) {
-		// Re-burn the root draw (same call, so the stream position
-		// matches the root derivation exactly even when Uint64n rejects).
-		rng := xrand.Derive(m.seed, uint64(start+i))
-		rng.Uint64n(n)
-		if counted && sh.counts == nil {
-			sh.counts = make([]int32, l*gn)
-		}
-		for j, lay := range m.layouts {
-			setStart := len(sh.nodes)
-			sh.nodes = s.sample(m.roots[start+i], lay, rng, sh.nodes)
-			if counted {
-				counts := sh.counts[j*gn : (j+1)*gn]
-				for _, v := range sh.nodes[setStart:] {
-					counts[v]++
-				}
+	m.st.extend(theta-start, func() func(i int, sh *shard) {
+		s := m.newPieceSampler()
+		return func(i int, sh *shard) {
+			// Re-burn the root draw (same call, so the stream position
+			// matches the root derivation exactly even when Uint64n rejects).
+			rng := xrand.Derive(m.seed, uint64(start+i))
+			rng.Uint64n(n)
+			if counted && sh.counts == nil {
+				sh.counts = make([]int32, l*gn)
 			}
-			sh.closeSet()
+			for j := 0; j < l; j++ {
+				setStart := len(sh.nodes)
+				sh.nodes = s.samplePiece(m.roots[start+i], j, rng, sh.nodes)
+				if counted {
+					counts := sh.counts[j*gn : (j+1)*gn]
+					for _, v := range sh.nodes[setStart:] {
+						counts[v]++
+					}
+				}
+				sh.closeSet()
+			}
 		}
 	})
 }

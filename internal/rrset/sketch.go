@@ -369,7 +369,7 @@ func (ix *Index) EstimateAUSketchWith(plan [][]int32, model logistic.Model, s *S
 	if tauStar != math.MaxUint64 {
 		scale = 1 / (float64(tauStar) * 0x1p-64)
 	}
-	est := float64(m.g.N()) * total * scale / float64(m.Theta())
+	est := float64(m.n) * total * scale / float64(m.Theta())
 	if math.IsNaN(est) || math.IsInf(est, 0) {
 		return 0, fmt.Errorf("rrset: sketch estimate is not finite")
 	}

@@ -404,3 +404,80 @@ func TestSketchConcurrentReadDuringGrowth(t *testing.T) {
 	}
 	checkSketchInvariant(t, cur)
 }
+
+// TestSketchSurvivesSerialization pins the documented re-attach path:
+// sketches are NOT serialized by the MRR format, so a loaded collection
+// recovers them by rebuilding the index and calling AttachSketches —
+// which must reproduce the fresh-built sketches bit for bit, because the
+// sketch is deterministic in (salt = seed ^ tweak, θ, inverted lists)
+// and all three survive the round trip.
+func TestSketchSurvivesSerialization(t *testing.T) {
+	g, probs := randomTestGraph(t, 11, 400, 4000)
+	m, err := SampleMRR(g, probs, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]int32, 0, 40)
+	for v := int32(0); v < int32(g.N()); v += 10 {
+		pool = append(pool, v)
+	}
+	fresh, err := m.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.AttachSketches(128); err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/roundtrip.mrr"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMRR(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lix, err := loaded.BuildIndex(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lix.HasSketches() {
+		t.Fatal("sketches appeared without AttachSketches")
+	}
+	if err := lix.AttachSketches(128); err != nil {
+		t.Fatal(err)
+	}
+
+	indexesEqual(t, "loaded index", lix, fresh)
+	a, b := fresh.sk, lix.sk
+	if a.salt != b.salt || a.k != b.k {
+		t.Fatalf("sketch params differ: salt %x/%x k %d/%d", a.salt, b.salt, a.k, b.k)
+	}
+	for slot := range a.tau {
+		if a.tau[slot] != b.tau[slot] {
+			t.Fatalf("slot %d: tau %x vs %x", slot, a.tau[slot], b.tau[slot])
+		}
+		if len(a.ids[slot]) != len(b.ids[slot]) {
+			t.Fatalf("slot %d: %d vs %d sketch entries", slot, len(a.ids[slot]), len(b.ids[slot]))
+		}
+		for x := range a.ids[slot] {
+			if a.ids[slot][x] != b.ids[slot][x] || a.hs[slot][x] != b.hs[slot][x] {
+				t.Fatalf("slot %d entry %d differs after round trip", slot, x)
+			}
+		}
+	}
+	checkSketchInvariant(t, lix)
+	for _, plan := range sketchTestPlans(pool, 2, 4) {
+		x, err := fresh.EstimateAUSketch(plan, paperModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := lix.EstimateAUSketch(plan, paperModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != y {
+			t.Fatalf("sketch estimates diverge after round trip: %v vs %v", x, y)
+		}
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"oipa/internal/graph"
 )
 
 // sampleBlockSize is the number of consecutive sample indices a worker
@@ -69,17 +67,21 @@ type store struct {
 	counted       bool  // shards maintain per-(piece,node) counts
 }
 
-// extend runs fn over sample indices [0, count) as a new run,
-// distributing fixed-size blocks of indices to GOMAXPROCS workers via an
-// atomic counter: a worker that finishes a block of small sets
+// extend runs a sampling pass over sample indices [0, count) as a new
+// run, distributing fixed-size blocks of indices to GOMAXPROCS workers
+// via an atomic counter: a worker that finishes a block of small sets
 // immediately claims the next unclaimed block (work stealing), so no
-// static partition can strand work behind a straggler. fn must append
+// static partition can strand work behind a straggler. worker is the
+// per-goroutine state factory — called once per spawned worker, it
+// returns the closure invoked per sample index, which must append
 // exactly setsPerSample sets to the shard it is handed (closing each
-// with closeSet). Worker w owns shards[w] for the duration of the run;
-// shards are reused (and grown in place) across runs, and the block
-// directory entries are pre-allocated here and written by their owning
-// workers, so the run finishes with no stitch pass of any kind.
-func (st *store) extend(g *graph.Graph, count int, fn func(s *sampler, i int, sh *shard)) {
+// with closeSet). The factory indirection keeps the store agnostic of
+// the sampling substrate (single-graph walker or multiplex walker).
+// Worker w owns shards[w] for the duration of the run; shards are
+// reused (and grown in place) across runs, and the block directory
+// entries are pre-allocated here and written by their owning workers,
+// so the run finishes with no stitch pass of any kind.
+func (st *store) extend(count int, worker func() func(i int, sh *shard)) {
 	if count <= 0 {
 		return
 	}
@@ -98,7 +100,7 @@ func (st *store) extend(g *graph.Graph, count int, fn func(s *sampler, i int, sh
 		go func(w int) {
 			defer wg.Done()
 			sh := &st.shards[w]
-			s := newSampler(g)
+			fn := worker()
 			for {
 				b := int(next.Add(1)) - 1
 				if b >= numBlocks {
@@ -111,7 +113,7 @@ func (st *store) extend(g *graph.Graph, count int, fn func(s *sampler, i int, sh
 					hi = count
 				}
 				for i := lo; i < hi; i++ {
-					fn(s, i, sh)
+					fn(i, sh)
 				}
 			}
 		}(w)

@@ -48,6 +48,7 @@ type metrics struct {
 	instanceMisses     atomic.Int64
 	singleflightWaits  atomic.Int64 // requests that waited on another's Prepare
 	instanceEvictions  atomic.Int64 // LRU (capacity) + governor (bytes) evictions
+	countsDroppedBytes atomic.Int64 // fused sample-count bytes shed at artifact publish
 
 	jobsSubmitted atomic.Int64
 	jobsDone      atomic.Int64
@@ -226,6 +227,10 @@ type MetricsSnapshot struct {
 		InstanceMisses     int64 `json:"instance_misses"`
 		SingleflightWaits  int64 `json:"singleflight_waits"`
 		InstanceEvictions  int64 `json:"instance_evictions"`
+		// CountsDroppedBytes accumulates the fused per-(piece,node)
+		// sample-count bytes the registry sheds when publishing artifacts
+		// — memory that never reaches the resident gauge.
+		CountsDroppedBytes int64 `json:"counts_dropped_bytes"`
 		Instances          int   `json:"instances"`
 		LayoutHits         int64 `json:"layout_hits"`
 		LayoutMisses       int64 `json:"layout_misses"`
@@ -296,6 +301,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Registry.InstanceMisses = m.instanceMisses.Load()
 	s.Registry.SingleflightWaits = m.singleflightWaits.Load()
 	s.Registry.InstanceEvictions = m.instanceEvictions.Load()
+	s.Registry.CountsDroppedBytes = m.countsDroppedBytes.Load()
 	s.Registry.Phase.Prepare = histStats(&m.phasePrepare)
 	s.Registry.Phase.Extend = histStats(&m.phaseExtend)
 	s.Registry.Phase.Index = histStats(&m.phaseIndex)

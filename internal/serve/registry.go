@@ -22,17 +22,27 @@ import (
 
 // instanceKey identifies one θ-monotone sampling entry: the campaign's
 // canonical piece content (names excluded — two campaigns with the same
-// distributions share samples) and the sampling seed. θ is deliberately
-// NOT part of the key: MRR sample i is identical for a given (campaign,
-// seed) regardless of how far the collection has grown, so one entry
-// serves every requested θ — smaller ones through θ-prefix views,
-// larger ones by extending the shared collection in place. Budget k and
-// the adoption model are not in the key either: neither affects the
-// samples or the index, so per-request variation is served through
-// core.Instance.WithK / WithModel shallow copies over one artifact.
+// distributions share samples), the sampling seed, and the layer-set
+// hash. θ is deliberately NOT part of the key: MRR sample i is
+// identical for a given (campaign, seed, layer set) regardless of how
+// far the collection has grown, so one entry serves every requested θ —
+// smaller ones through θ-prefix views, larger ones by extending the
+// shared collection in place. Budget k and the adoption model are not
+// in the key either: neither affects the samples or the index, so
+// per-request variation is served through core.Instance.WithK /
+// WithModel shallow copies over one artifact.
+//
+// layers is the layer-set hash: a bitmask of the selected multiplex
+// layer indices. Layer indices are bounded to [0, 64) at request
+// validation, so the mask is collision-free, and equal sets collide to
+// the same entry regardless of request spelling (the server
+// canonicalizes order and duplicates first). 0 is the single-graph path
+// — a request for just the base layer keys identically to a layerless
+// request, so both share one artifact.
 type instanceKey struct {
 	campaign string
 	seed     uint64
+	layers   uint64
 }
 
 // campaignKey renders the piece distributions in a canonical, collision
@@ -211,6 +221,17 @@ type Registry struct {
 	capacity int
 	sketchK  int // bottom-k sketch size attached to prepared indexes (0 = none)
 
+	// mx is the full configured multiplex (base graph as layer 0), nil
+	// on a single-graph server. Requests selecting a proper layer subset
+	// are served off sub-multiplexes derived from it — cached per
+	// layer-set mask in subs so each subset's layout caches and combined
+	// fingerprint are built once. layoutCap sizes the per-layer layout
+	// caches of those derived sub-multiplexes.
+	mx        *graph.Multiplex
+	layoutCap int
+	subMu     sync.Mutex
+	subs      map[uint64]*graph.Multiplex
+
 	budget      int64 // resident-bytes target; 0 disables the governor
 	epochWindow int64 // request-clock ticks per recency epoch
 
@@ -234,17 +255,20 @@ type Registry struct {
 	m *metrics
 }
 
-func newRegistry(g *graph.Graph, pool []int32, model logistic.Model, layoutCap, instanceCap int, memBudget int64, memEpoch int, sketchK int, m *metrics) *Registry {
+func newRegistry(g *graph.Graph, mx *graph.Multiplex, pool []int32, model logistic.Model, layoutCap, instanceCap int, memBudget int64, memEpoch int, sketchK int, m *metrics) *Registry {
 	return &Registry{
 		g:           g,
+		mx:          mx,
 		pool:        pool,
 		model:       model,
 		layouts:     graph.NewLayoutCache(g, layoutCap),
+		layoutCap:   layoutCap,
 		capacity:    instanceCap,
 		sketchK:     sketchK,
 		budget:      memBudget,
 		epochWindow: int64(memEpoch),
 		entries:     make(map[instanceKey]*entry),
+		subs:        make(map[uint64]*graph.Multiplex),
 		m:           m,
 	}
 }
@@ -258,25 +282,108 @@ func (r *Registry) ResidentBytes() int64 { return r.resident.Load() }
 // straight off cached layouts without preparing an instance).
 func (r *Registry) Layouts() *graph.LayoutCache { return r.layouts }
 
-// Instance returns an artifact serving (campaign, theta, seed) and how
-// it was obtained: a fresh preparation (miss), the current snapshot
-// (exact hit or θ-prefix), or a snapshot grown to theta. The returned
-// artifact is shared and immutable; callers go through its evaluator
-// and estimator pools for scratch-carrying operations, and bound their
-// reads with InstanceAt / EstimateAUPrefix at the requested θ.
+// Multiplex returns the full configured multiplex, nil on a
+// single-graph server.
+func (r *Registry) Multiplex() *graph.Multiplex { return r.mx }
+
+// layerMask folds a canonical (sorted, deduplicated) layer selection
+// into the entry key's layer-set hash. Empty — or just layer 0, the
+// base graph — is the single-graph path: mask 0, exactly how a
+// layerless request keys, so both spellings share one artifact. Any
+// other selection requires a configured multiplex, and indices are
+// bounded to [0, 64) so the mask is collision-free.
+func (r *Registry) layerMask(layers []int) (uint64, error) {
+	var mask uint64
+	for _, a := range layers {
+		limit := 1
+		if r.mx != nil {
+			limit = r.mx.L()
+		}
+		if a < 0 || a >= limit {
+			return 0, fmt.Errorf("serve: layer %d outside the configured layers [0, %d)", a, limit)
+		}
+		if a >= 64 {
+			return 0, fmt.Errorf("serve: layer %d beyond the 64-layer key limit", a)
+		}
+		mask |= 1 << uint(a)
+	}
+	if mask == 1 {
+		mask = 0
+	}
+	return mask, nil
+}
+
+// subMultiplex returns the diffusion substrate for a non-trivial layer
+// set: the full multiplex when every layer is selected, otherwise a
+// derived multiplex over the selected layers — same universe, same
+// per-layer graphs and identity mappings, its own layout caches —
+// memoized per mask so repeated campaigns over the same layer set share
+// layouts and the combined-graph fingerprint.
+func (r *Registry) subMultiplex(mask uint64) (*graph.Multiplex, error) {
+	if full := r.mx.L(); full < 64 && mask == (uint64(1)<<uint(full))-1 {
+		return r.mx, nil
+	}
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	if mx, ok := r.subs[mask]; ok {
+		return mx, nil
+	}
+	var sel []graph.MultiplexLayer
+	for a := 0; a < r.mx.L() && a < 64; a++ {
+		if mask&(uint64(1)<<uint(a)) != 0 {
+			sel = append(sel, graph.MultiplexLayer{G: r.mx.Layer(a), ToGlobal: r.mx.ToGlobal(a)})
+		}
+	}
+	// The universe stays the FULL node set even when layer 0 is not
+	// selected: roots draw over it and plans/pools keep their global
+	// ids, so utilities across layer sets are comparable.
+	mx, err := graph.NewMultiplex(r.mx.N(), sel, r.layoutCap)
+	if err != nil {
+		return nil, err
+	}
+	r.subs[mask] = mx
+	return mx, nil
+}
+
+// Instance returns an artifact serving (campaign, theta, seed) over the
+// base graph — the single-graph path. See InstanceLayers.
 func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+	return r.InstanceLayers(ctx, campaign, theta, seed, nil)
+}
+
+// InstanceLayers returns an artifact serving (campaign, theta, seed)
+// over the selected multiplex layer set and how it was obtained: a
+// fresh preparation (miss), the current snapshot (exact hit or
+// θ-prefix), or a snapshot grown to theta. layers must be canonical —
+// sorted, deduplicated, indices valid for the configured multiplex; nil
+// (or [0] alone) is the base-graph path and keys identically to it. The
+// returned artifact is shared and immutable; callers go through its
+// evaluator and estimator pools for scratch-carrying operations, and
+// bound their reads with InstanceAt / EstimateAUPrefix at the requested
+// θ.
+func (r *Registry) InstanceLayers(ctx context.Context, campaign topic.Campaign, theta int, seed uint64, layers []int) (*Artifact, Outcome, error) {
 	if err := campaign.Validate(r.g.Z()); err != nil {
 		return nil, OutcomeMiss, fmt.Errorf("serve: campaign: %w", err)
 	}
 	if theta <= 0 {
 		return nil, OutcomeMiss, fmt.Errorf("serve: non-positive theta %d", theta)
 	}
+	mask, err := r.layerMask(layers)
+	if err != nil {
+		return nil, OutcomeMiss, err
+	}
+	var mx *graph.Multiplex
+	if mask != 0 {
+		if mx, err = r.subMultiplex(mask); err != nil {
+			return nil, OutcomeMiss, err
+		}
+	}
 	// An already-canceled request must not pay (or trigger) a
 	// multi-second build; bail before touching the cache.
 	if err := ctx.Err(); err != nil {
 		return nil, OutcomeMiss, err
 	}
-	key := instanceKey{campaign: campaignKey(campaign), seed: seed}
+	key := instanceKey{campaign: campaignKey(campaign), seed: seed, layers: mask}
 
 	// Any return path below may have published bytes; run the pressure
 	// policy on the way out (cheap no-op while under budget).
@@ -291,7 +398,7 @@ func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta 
 		r.entries[key] = e
 		r.evictLocked()
 		r.mu.Unlock()
-		return r.prepareEntry(ctx, e, campaign, theta, seed)
+		return r.prepareEntry(ctx, e, campaign, mx, theta, seed)
 	}
 	r.clock++
 	e.lastUse = r.clock
@@ -319,11 +426,11 @@ func (r *Registry) Instance(ctx context.Context, campaign topic.Campaign, theta 
 			// That cancellation is the owner's, not ours: the aborted
 			// entry is already gone from the map, so retry as a fresh
 			// miss instead of surfacing someone else's ctx error.
-			return r.Instance(ctx, campaign, theta, seed)
+			return r.InstanceLayers(ctx, campaign, theta, seed, layers)
 		}
 		return nil, OutcomeHit, e.err
 	}
-	return r.serveEntry(ctx, e, campaign, theta, seed)
+	return r.serveEntry(ctx, e, campaign, mx, theta, seed)
 }
 
 // panicError carries a panic recovered inside the serve tier (registry
@@ -344,7 +451,7 @@ var errPrepareAborted = errors.New("serve: preparation aborted by a canceled req
 // failures (including cancellation) close the entry with the error and
 // drop it from the map, so waiters fail fast and nothing half-built is
 // cached — a corrected request simply retries.
-func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, mx *graph.Multiplex, theta int, seed uint64) (*Artifact, Outcome, error) {
 	fail := func(entryErr, err error) (*Artifact, Outcome, error) {
 		// Drop the entry from the map BEFORE closing ready: a waiter that
 		// wakes on errPrepareAborted retries immediately, and must find
@@ -365,7 +472,7 @@ func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Ca
 	}
 	prepCtx, sp := obs.StartSpan(ctx, "prepare")
 	prepStart := time.Now()
-	inst, err := r.prepareContained(prepCtx, campaign, theta, seed)
+	inst, err := r.prepareContained(prepCtx, campaign, mx, theta, seed)
 	sp.End()
 	if err != nil {
 		return fail(err, err)
@@ -384,7 +491,7 @@ func (r *Registry) prepareEntry(ctx context.Context, e *entry, campaign topic.Ca
 // snapshots are immutable and bounded at their own θ), or grow it. A
 // poisoned entry that needs growth is rebuilt from scratch instead —
 // its unpublished growth state cannot be trusted after a panic.
-func (r *Registry) serveEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+func (r *Registry) serveEntry(ctx context.Context, e *entry, campaign topic.Campaign, mx *graph.Multiplex, theta int, seed uint64) (*Artifact, Outcome, error) {
 	if a, outcome, ok := serveSnapshot(e.art.Load(), theta); ok {
 		r.countServe(outcome)
 		return a, outcome, nil
@@ -410,7 +517,7 @@ func (r *Registry) serveEntry(ctx context.Context, e *entry, campaign topic.Camp
 		return nil, OutcomeExtend, err
 	}
 	if e.poisoned.Load() {
-		return r.reprepareEntry(ctx, e, campaign, theta, seed)
+		return r.reprepareEntry(ctx, e, campaign, mx, theta, seed)
 	}
 	growCtx, sp := obs.StartSpan(ctx, "grow")
 	growStart := time.Now()
@@ -476,10 +583,10 @@ func (r *Registry) growContained(ctx context.Context, e *entry, a *Artifact, the
 // bit-identical to one prepared on a server that never panicked — the
 // chaos suite pins exactly this. On failure the entry stays poisoned
 // and its snapshot keeps serving.
-func (r *Registry) reprepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, theta int, seed uint64) (*Artifact, Outcome, error) {
+func (r *Registry) reprepareEntry(ctx context.Context, e *entry, campaign topic.Campaign, mx *graph.Multiplex, theta int, seed uint64) (*Artifact, Outcome, error) {
 	prepCtx, sp := obs.StartSpan(ctx, "prepare")
 	prepStart := time.Now()
-	inst, err := r.prepareContained(prepCtx, campaign, theta, seed)
+	inst, err := r.prepareContained(prepCtx, campaign, mx, theta, seed)
 	sp.End()
 	if err != nil {
 		return nil, OutcomeMiss, err
@@ -537,7 +644,7 @@ func (r *Registry) countServe(outcome Outcome) {
 // recovered, counted, and returned as a panicError so the calling
 // request fails with a 500 while every waiter fails fast on the same
 // error — and the process keeps serving.
-func (r *Registry) prepareContained(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (inst *core.Instance, err error) {
+func (r *Registry) prepareContained(ctx context.Context, campaign topic.Campaign, mx *graph.Multiplex, theta int, seed uint64) (inst *core.Instance, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.m.panicsTotal.Add(1)
@@ -547,34 +654,54 @@ func (r *Registry) prepareContained(ctx context.Context, campaign topic.Campaign
 	if err := faultpoint.Hit("registry.prepare"); err != nil {
 		return nil, err
 	}
-	return r.prepare(ctx, campaign, theta, seed)
+	return r.prepare(ctx, campaign, mx, theta, seed)
 }
 
-// prepare materializes the artifact: layouts through the shared layout
-// cache (so campaigns overlapping in pieces share them), then the
-// reentrant core.PrepareLayoutsCtx — the sampling pass honors ctx at
+// prepare materializes the artifact. On the single-graph path the
+// layouts come through the shared layout cache (so campaigns
+// overlapping in pieces share them); a multiplex substrate brings its
+// own per-layer caches. Either way the reentrant prepare honors ctx at
 // sample-block granularity, so an expired request deadline abandons the
 // build instead of finishing work nobody will read. The budget
 // placeholder k=1 is never used directly — request handlers derive
 // WithK copies.
-func (r *Registry) prepare(ctx context.Context, campaign topic.Campaign, theta int, seed uint64) (*core.Instance, error) {
-	layouts := make([]*graph.PieceLayout, campaign.L())
-	for j, piece := range campaign.Pieces {
-		lay, err := r.layouts.Get(piece.Dist)
-		if err != nil {
-			return nil, fmt.Errorf("serve: piece %d: %w", j, err)
-		}
-		layouts[j] = lay
-	}
-	prob := &core.Problem{
-		G:        r.g,
-		Campaign: campaign,
-		Pool:     r.pool,
-		K:        1,
-		Model:    r.model,
-	}
+func (r *Registry) prepare(ctx context.Context, campaign topic.Campaign, mx *graph.Multiplex, theta int, seed uint64) (*core.Instance, error) {
+	var (
+		inst *core.Instance
+		err  error
+	)
 	r.m.prepares.Add(1)
-	inst, err := core.PrepareLayoutsCtx(ctx, prob, layouts, theta, seed)
+	if mx != nil {
+		layouts := make([][]*graph.PieceLayout, campaign.L())
+		for j, piece := range campaign.Pieces {
+			if layouts[j], err = mx.Layouts(piece.Dist); err != nil {
+				return nil, fmt.Errorf("serve: piece %d: %w", j, err)
+			}
+		}
+		prob := &core.Problem{
+			Mux:      mx,
+			Campaign: campaign,
+			Pool:     r.pool,
+			K:        1,
+			Model:    r.model,
+		}
+		inst, err = core.PrepareMultiplexLayoutsCtx(ctx, prob, layouts, theta, seed)
+	} else {
+		layouts := make([]*graph.PieceLayout, campaign.L())
+		for j, piece := range campaign.Pieces {
+			if layouts[j], err = r.layouts.Get(piece.Dist); err != nil {
+				return nil, fmt.Errorf("serve: piece %d: %w", j, err)
+			}
+		}
+		prob := &core.Problem{
+			G:        r.g,
+			Campaign: campaign,
+			Pool:     r.pool,
+			K:        1,
+			Model:    r.model,
+		}
+		inst, err = core.PrepareLayoutsCtx(ctx, prob, layouts, theta, seed)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -588,6 +715,12 @@ func (r *Registry) prepare(ctx context.Context, campaign topic.Campaign, theta i
 			return nil, fmt.Errorf("serve: attach sketches: %w", err)
 		}
 	}
+	// Registry artifacts never serialize and their index is already
+	// built, so the sampling pass's fused per-(piece,node) membership
+	// counts are dead weight from here on: growth extends the index with
+	// O(Δθ) appends that never consult them. Drop them before the caller
+	// accounts MemUsage, so the governor budgets the already-slim figure.
+	r.m.countsDroppedBytes.Add(inst.MRR.DropSampleCounts())
 	return inst, nil
 }
 

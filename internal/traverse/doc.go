@@ -1,0 +1,60 @@
+// Package traverse implements the randomized BFS core shared by the
+// reverse-reachable sampler (internal/rrset) and the forward cascade
+// simulator (internal/cascade), plus its layer-generic extension to
+// multiplex networks.
+//
+// # Single-graph walks
+//
+// Both classic callers expand a frontier over one CSR direction of a
+// graph, viewed through a graph.PieceLayout: probabilities are read in
+// CSR position order, and nodes whose edge range carries one common
+// probability are expanded with geometric-skip jumps (SUBSIM-style)
+// instead of one coin flip per edge. The two hot loops used to be
+// maintained in lockstep by hand; expand is the single copy, with the
+// direction (in-CSR vs out-CSR) supplied by the caller as plain slices
+// so the loop itself stays direction-agnostic and allocation-free.
+//
+// Determinism contract: for a fixed (layout, seed sequence) a walk
+// consumes RNG draws in a fixed order — one draw per flip, one per
+// geometric jump, one for each all-dead test — so RR sampling and
+// forward simulation driven by identical RNG streams visit identical
+// node sequences (pinned by the cross-check tests in traverse_test.go
+// and relied on by the rrset schedule-invariance suite).
+//
+// # Multiplex walks and the coupling rule
+//
+// MultiWalker generalizes the walk to an ordered set of layers over a
+// shared node universe (multiplex influence maximization in the sense of
+// Kuhnle et al.): each layer runs the same geometric-skip BFS over its
+// own CSR and layout, and activation couples across layers losslessly at
+// overlap nodes — a node activated in any layer is activated in every
+// layer containing its shared identity, with probability 1 and no decay.
+//
+// The coupling rule is made precise (and testable) by a gateway-node
+// combined-graph reduction. Build one explicit graph with three node
+// kinds over id ranges [0,n) ∪ [n,n+C) ∪ [n+C,n+2C), where C is the
+// total layer-local node count:
+//
+//   - gateway g(u): the shared identity of universe node u;
+//   - copy c(a,lu): node lu of layer a;
+//   - sampler s(a,lu): the stochastic in-range of c(a,lu).
+//
+// A layer-a edge wl→ul with probability p becomes c(a,wl)→s(a,ul) with
+// probability p; coupling edges s(a,ul)→c(a,ul), c(a,ul)→g(u) and
+// g(u)→c(a,lu) (one per member layer) all carry probability 1. A
+// reverse walk seeded at g(root) then reaches exactly the universe nodes
+// a multiplex diffusion from root reaches.
+//
+// The three-kind split is what makes the reduction lossless *at the RNG
+// level*, not just distributionally: every stochastic in-range (the
+// samplers') is a verbatim copy of one layer's in-range — same order,
+// same probabilities, hence the same geometric-skip dispatch — and every
+// coupling in-range is uniformly probability 1, which the walk expands
+// with zero draws. MultiWalker simulates this reduction token-for-token
+// without materializing it, so its draw sequence matches a plain Walker
+// on the explicitly built combined graph draw-for-draw, and collapses to
+// the plain single-graph walk bit-identically when given one
+// identity-mapped layer. multiwalker_test.go pins both equivalences on
+// seeded random multiplexes; graph.Multiplex.CombinedGraph builds the
+// reduction for such cross-checks.
+package traverse

@@ -1,0 +1,241 @@
+package traverse_test
+
+import (
+	"testing"
+
+	"oipa/internal/graph"
+	"oipa/internal/topic"
+	"oipa/internal/traverse"
+	"oipa/internal/xrand"
+)
+
+// randomLayer builds a random layer graph over localN nodes. In uniform
+// mode every edge carries 1/indeg(v) on topic 0, producing uniform
+// in-ranges (geometric-skip territory for high-indegree nodes); in mixed
+// mode edges carry independent random values, with a sprinkle of exact
+// 0s and 1s to hit every dispatch arm.
+func randomLayer(t *testing.T, localN int, avgDeg float64, uniform bool, rng *xrand.SplitMix64) *graph.Graph {
+	t.Helper()
+	type edge struct{ u, v int32 }
+	var edges []edge
+	p := avgDeg / float64(localN)
+	for u := int32(0); int(u) < localN; u++ {
+		for v := int32(0); int(v) < localN; v++ {
+			if u == v || rng.Float64() >= p {
+				continue
+			}
+			edges = append(edges, edge{u, v})
+		}
+	}
+	indeg := make([]int, localN)
+	for _, e := range edges {
+		indeg[e.v]++
+	}
+	b := graph.NewBuilder(localN, 2)
+	for _, e := range edges {
+		var val float64
+		switch {
+		case uniform:
+			val = 1 / float64(indeg[e.v])
+		default:
+			switch u := rng.Float64(); {
+			case u < 0.1:
+				val = 1 // sure edge: the p>=1 no-draw arm
+			case u < 0.15:
+				val = 0 // dead edge (dropped by the sparse vector)
+			default:
+				val = rng.Float64()
+			}
+		}
+		vec, err := topic.NewVector([]int32{0}, []float64{val})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(e.u, e.v, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// buildMux assembles a 2-layer multiplex: layer 0 identity over the full
+// universe, layer 1 a smaller graph mapped onto a random subset of
+// identities (so the overlap is partial and the mapping non-trivial).
+func buildMux(t *testing.T, n int, uniform bool, rng *xrand.SplitMix64) *graph.Multiplex {
+	t.Helper()
+	l0 := randomLayer(t, n, 6, uniform, rng)
+	n1 := n * 2 / 3
+	l1 := randomLayer(t, n1, 9, uniform, rng)
+	perm := rng.Sample(n, n1)
+	toGlobal := make([]int32, n1)
+	for i, u := range perm {
+		toGlobal[i] = int32(u)
+	}
+	mux, err := graph.NewMultiplex(n, []graph.MultiplexLayer{
+		{G: l0},
+		{G: l1, ToGlobal: toGlobal},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mux
+}
+
+func muxLayers(t *testing.T, mux *graph.Multiplex, piece topic.Vector) []traverse.Layer {
+	t.Helper()
+	lays, err := mux.Layouts(piece)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := make([]traverse.Layer, mux.L())
+	for a := range layers {
+		layers[a] = traverse.LayerOf(lays[a], mux.ToGlobal(a), mux.ToLocal(a))
+	}
+	return layers
+}
+
+// TestMultiWalkerMatchesCombinedReduction pins the tentpole correctness
+// claim: the layer-generic walk equals a plain Walker on the explicitly
+// built gateway-node combined graph draw-for-draw — same reached
+// universe nodes in the same order, and the same number of RNG draws in
+// the same sequence (checked by comparing the generator states after
+// each walk).
+func TestMultiWalkerMatchesCombinedReduction(t *testing.T) {
+	piece := topic.SingleTopic(0)
+	for _, uniform := range []bool{true, false} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			rng := xrand.New(seed * 977)
+			n := 40
+			mux := buildMux(t, n, uniform, rng)
+			layers := muxLayers(t, mux, piece)
+
+			comb, err := mux.CombinedGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			combLay, err := comb.Layout(comb.PieceProbs(piece))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inOff, inFrom := comb.InCSR()
+
+			w := traverse.NewWalker(comb.N())
+			mw := traverse.NewMultiWalker(n, mux.LayerSizes())
+			for root := int32(0); int(root) < n; root++ {
+				for trial := uint64(0); trial < 3; trial++ {
+					rngA := xrand.Derive(seed, uint64(root)*7+trial)
+					rngB := xrand.Derive(seed, uint64(root)*7+trial)
+					visited := w.RunFrom(inOff, inFrom, combLay.InDist, combLay.InProbs, root, rngA)
+					var want []int32
+					for _, v := range visited {
+						if int(v) < n {
+							want = append(want, v)
+						}
+					}
+					got := mw.Run(layers, root, rngB)
+					if len(got) != len(want) {
+						t.Fatalf("uniform=%v seed=%d root=%d: reduction reached %d universe nodes, multiplex walk %d", uniform, seed, root, len(want), len(got))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("uniform=%v seed=%d root=%d: visit order diverges at %d: reduction %d, multiplex %d", uniform, seed, root, i, want[i], got[i])
+						}
+					}
+					if a, b := rngA.Uint64(), rngB.Uint64(); a != b {
+						t.Fatalf("uniform=%v seed=%d root=%d: RNG streams diverged (%#x vs %#x): draw counts differ", uniform, seed, root, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiWalkerSingleLayerBitIdentity pins the refactor-safety golden
+// at the walker level: one identity-mapped layer walks bit-identically
+// to the plain single-graph Walker — same visit order, same RNG
+// consumption.
+func TestMultiWalkerSingleLayerBitIdentity(t *testing.T) {
+	for _, uniform := range []bool{true, false} {
+		rng := xrand.New(42)
+		n := 60
+		g := randomLayer(t, n, 7, uniform, rng)
+		mux, err := graph.NewMultiplex(n, []graph.MultiplexLayer{{G: g}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		piece := topic.SingleTopic(0)
+		layers := muxLayers(t, mux, piece)
+		lay, err := g.Layout(g.PieceProbs(piece))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inOff, inFrom := g.InCSR()
+		w := traverse.NewWalker(n)
+		mw := traverse.NewMultiWalker(n, mux.LayerSizes())
+		for root := int32(0); int(root) < n; root++ {
+			rngA := xrand.Derive(9, uint64(root))
+			rngB := xrand.Derive(9, uint64(root))
+			want := w.RunFrom(inOff, inFrom, lay.InDist, lay.InProbs, root, rngA)
+			got := mw.Run(layers, root, rngB)
+			if len(got) != len(want) {
+				t.Fatalf("uniform=%v root=%d: single-layer walk reached %d nodes, multiplex %d", uniform, root, len(want), len(got))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("uniform=%v root=%d: visit order diverges at %d: %d vs %d", uniform, root, i, want[i], got[i])
+				}
+			}
+			if a, b := rngA.Uint64(), rngB.Uint64(); a != b {
+				t.Fatalf("uniform=%v root=%d: RNG streams diverged", uniform, root)
+			}
+		}
+	}
+}
+
+// TestMultiWalkerCrossLayerCoupling is a deterministic hand example: a
+// chain that only exists across layers. Layer 0 has b→a surely, layer 1
+// has c→b surely; a reverse walk from a must cross into layer 1 at b's
+// shared identity and reach c.
+func TestMultiWalkerCrossLayerCoupling(t *testing.T) {
+	one := topic.SingleTopic(0)
+	b0 := graph.NewBuilder(3, 1)
+	if err := b0.AddEdge(1, 0, one); err != nil { // b→a in layer 0
+		t.Fatal(err)
+	}
+	l0, err := b0.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := graph.NewBuilder(2, 1)
+	if err := b1.AddEdge(1, 0, one); err != nil { // local c→b in layer 1
+		t.Fatal(err)
+	}
+	l1, err := b1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 1's local {0,1} are universe {b=1, c=2}.
+	mux, err := graph.NewMultiplex(3, []graph.MultiplexLayer{
+		{G: l0},
+		{G: l1, ToGlobal: []int32{1, 2}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := muxLayers(t, mux, one)
+	mw := traverse.NewMultiWalker(3, mux.LayerSizes())
+	got := mw.Run(layers, 0, xrand.New(1))
+	want := []int32{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("cross-layer walk reached %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cross-layer walk reached %v, want %v", got, want)
+		}
+	}
+}

@@ -1,22 +1,3 @@
-// Package traverse implements the randomized BFS core shared by the
-// reverse-reachable sampler (internal/rrset) and the forward cascade
-// simulator (internal/cascade).
-//
-// Both callers expand a frontier over one CSR direction of a graph,
-// viewed through a graph.PieceLayout: probabilities are read in CSR
-// position order, and nodes whose edge range carries one common
-// probability are expanded with geometric-skip jumps (SUBSIM-style)
-// instead of one coin flip per edge. The two hot loops used to be
-// maintained in lockstep by hand; this package is the single copy, with
-// the direction (in-CSR vs out-CSR) supplied by the caller as plain
-// slices so the loop itself stays direction-agnostic and allocation-free.
-//
-// Determinism contract: for a fixed (layout, seed sequence) the walk
-// consumes RNG draws in a fixed order — one draw per flip, one per
-// geometric jump, one for each all-dead test — so RR sampling and forward
-// simulation driven by identical RNG streams visit identical node
-// sequences (pinned by the cross-check tests in traverse_test.go and
-// relied on by the rrset schedule-invariance suite).
 package traverse
 
 import (
@@ -38,12 +19,96 @@ const GeoSkipMinDeg = 8
 type Walker struct {
 	visited *bitset.Stamp
 	queue   []int32
+	scratch []int32
 	seedBuf [1]int32
 }
 
 // NewWalker returns a walker for graphs of n nodes.
 func NewWalker(n int) *Walker {
-	return &Walker{visited: bitset.NewStamp(n), queue: make([]int32, 0, 256)}
+	return &Walker{visited: bitset.NewStamp(n), queue: make([]int32, 0, 256), scratch: make([]int32, 0, 64)}
+}
+
+// expand draws the live in-edges (resp. out-edges) of node v under the
+// layout arrays (dist, probs) and appends the corresponding endpoints to
+// buf, which it returns. It is the per-node core of every walk in this
+// package — the single copy of the geometric-skip dispatch shared by the
+// single-graph Walker and the layer-generic MultiWalker.
+//
+// The RNG draw sequence depends only on (off, dist, probs, v), never on
+// any visited state, so a caller may filter the returned endpoints
+// through its own visited structure without perturbing the stream.
+//
+// Per-node dispatch: uniform-probability ranges draw the index of their
+// next live edge with a geometric jump (ties the number of RNG draws to
+// the number of live edges, not the degree); mixed ranges flip one coin
+// per edge, reading probabilities sequentially from the layout; p >= 1
+// ranges take every edge with zero draws.
+func expand(off []int64, adj []int32, dist []graph.NodeDist, probs []float64, v int32, rng *xrand.SplitMix64, buf []int32) []int32 {
+	lo, hi := off[v], off[v+1]
+	if lo == hi {
+		return buf
+	}
+	d := &dist[v]
+	switch p := d.Uniform; {
+	case p == 0:
+		// Every edge in the range is dead.
+	case p > 0 && p < 1:
+		if hi-lo <= GeoSkipMinDeg {
+			// Short scan: one flip per edge beats a log call, and the
+			// uniform probability needs no per-edge loads.
+			for pos := lo; pos < hi; pos++ {
+				if rng.Float64() >= p {
+					continue
+				}
+				buf = append(buf, adj[pos])
+			}
+			return buf
+		}
+		// Geometric skip: ⌊ln(U)/ln(1-p)⌋ is the number of dead edges
+		// before the next live one. The first draw doubles as the
+		// all-dead test — U ≤ (1-p)^deg is that exact event — so the
+		// common empty scan costs one draw and no log.
+		u0 := rng.Float64()
+		if u0 <= d.QD {
+			return buf
+		}
+		invLogQ := d.InvLogQ
+		pos := lo + int64(math.Log(u0)*invLogQ)
+		if pos >= hi {
+			// u0 > QD guarantees pos < hi in exact arithmetic, but QD
+			// (math.Pow) and the log product round independently; clamp
+			// rather than read the next node's CSR range.
+			return buf
+		}
+		for {
+			buf = append(buf, adj[pos])
+			pos++
+			if pos >= hi {
+				break
+			}
+			jump := math.Log(rng.Float64()) * invLogQ
+			if jump >= float64(hi-pos) {
+				break
+			}
+			pos += int64(jump)
+		}
+	case p >= 1:
+		for pos := lo; pos < hi; pos++ {
+			buf = append(buf, adj[pos])
+		}
+	default: // mixed probabilities: one flip per live-candidate edge
+		for pos := lo; pos < hi; pos++ {
+			q := probs[pos]
+			if q <= 0 {
+				continue
+			}
+			if q < 1 && rng.Float64() >= q {
+				continue
+			}
+			buf = append(buf, adj[pos])
+		}
+	}
+	return buf
 }
 
 // RunFrom is Run seeded at a single root, without the caller needing a
@@ -63,10 +128,10 @@ func (w *Walker) RunFrom(off []int64, adj []int32, dist []graph.NodeDist, probs 
 // aliases the walker's internal queue and is only valid until the next
 // Run.
 //
-// Per-node dispatch: uniform-probability nodes draw the index of their
-// next live edge with a geometric jump (ties the number of RNG draws to
-// the number of live edges, not the degree); mixed nodes flip one coin
-// per edge, reading probabilities sequentially from the layout.
+// Each visited node's live edges are drawn by expand; since the draw
+// sequence is independent of the visited state, filtering the drawn
+// endpoints through the stamp afterwards consumes the RNG stream in the
+// same order as the historical fused loop.
 func (w *Walker) Run(off []int64, adj []int32, dist []graph.NodeDist, probs []float64, seeds []int32, rng *xrand.SplitMix64) []int32 {
 	w.visited.Reset()
 	w.queue = w.queue[:0]
@@ -77,76 +142,10 @@ func (w *Walker) Run(off []int64, adj []int32, dist []graph.NodeDist, probs []fl
 	}
 	for head := 0; head < len(w.queue); head++ {
 		v := w.queue[head]
-		lo, hi := off[v], off[v+1]
-		if lo == hi {
-			continue
-		}
-		d := &dist[v]
-		switch p := d.Uniform; {
-		case p == 0:
-			// Every edge in the range is dead.
-		case p > 0 && p < 1:
-			if hi-lo <= GeoSkipMinDeg {
-				// Short scan: one flip per edge beats a log call, and the
-				// uniform probability needs no per-edge loads.
-				for pos := lo; pos < hi; pos++ {
-					if rng.Float64() >= p {
-						continue
-					}
-					if u := adj[pos]; w.visited.MarkOnce(int(u)) {
-						w.queue = append(w.queue, u)
-					}
-				}
-				continue
-			}
-			// Geometric skip: ⌊ln(U)/ln(1-p)⌋ is the number of dead edges
-			// before the next live one. The first draw doubles as the
-			// all-dead test — U ≤ (1-p)^deg is that exact event — so the
-			// common empty scan costs one draw and no log.
-			u0 := rng.Float64()
-			if u0 <= d.QD {
-				continue
-			}
-			invLogQ := d.InvLogQ
-			pos := lo + int64(math.Log(u0)*invLogQ)
-			if pos >= hi {
-				// u0 > QD guarantees pos < hi in exact arithmetic, but QD
-				// (math.Pow) and the log product round independently; clamp
-				// rather than read the next node's CSR range.
-				continue
-			}
-			for {
-				if u := adj[pos]; w.visited.MarkOnce(int(u)) {
-					w.queue = append(w.queue, u)
-				}
-				pos++
-				if pos >= hi {
-					break
-				}
-				jump := math.Log(rng.Float64()) * invLogQ
-				if jump >= float64(hi-pos) {
-					break
-				}
-				pos += int64(jump)
-			}
-		case p >= 1:
-			for pos := lo; pos < hi; pos++ {
-				if u := adj[pos]; w.visited.MarkOnce(int(u)) {
-					w.queue = append(w.queue, u)
-				}
-			}
-		default: // mixed probabilities: one flip per live-candidate edge
-			for pos := lo; pos < hi; pos++ {
-				q := probs[pos]
-				if q <= 0 {
-					continue
-				}
-				if q < 1 && rng.Float64() >= q {
-					continue
-				}
-				if u := adj[pos]; w.visited.MarkOnce(int(u)) {
-					w.queue = append(w.queue, u)
-				}
+		w.scratch = expand(off, adj, dist, probs, v, rng, w.scratch[:0])
+		for _, u := range w.scratch {
+			if w.visited.MarkOnce(int(u)) {
+				w.queue = append(w.queue, u)
 			}
 		}
 	}
