@@ -118,6 +118,35 @@ type sketchReport struct {
 	ExtendNS       int64   `json:"index_extend_sketch_ns"`
 }
 
+// parallelRow is one worker-count point of the solve_parallel sweep:
+// wall-clock of the identical branch-and-bound workload, speedup against
+// the sequential row, and the bit-identity check that makes the speedup
+// meaningful (a parallel solve that changed the answer measures nothing).
+type parallelRow struct {
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	Speedup    float64 `json:"speedup"`
+	ParityOK   bool    `json:"parity_ok"`
+	Steals     int64   `json:"steals"`
+	SpecWasted int64   `json:"spec_wasted"`
+}
+
+// parallelReport sweeps the parallel branch-and-bound search across
+// worker counts on a deliberately branchy workload (a steep adoption
+// model opens a real bound gap; the report's default α=2 certifies at
+// the root and would expand nothing). NumCPU and Oversubscribed qualify
+// the numbers: with more workers than physical CPUs the sweep measures
+// scheduler time-slicing, not parallel speedup.
+type parallelReport struct {
+	Theta          int           `json:"theta"`
+	K              int           `json:"k"`
+	Nodes          int64         `json:"nodes"`
+	SolvesPerPoint int           `json:"solves_per_point"`
+	NumCPU         int           `json:"num_cpu"`
+	Oversubscribed bool          `json:"oversubscribed,omitempty"`
+	Rows           []parallelRow `json:"rows"`
+}
+
 // multiplexReport compares single-graph and two-layer multiplex serving
 // over the same base graph and campaign: the layer-coupled sampling cost
 // (the sample_mrr_multiplex benchmark row is its ns/op), the preparation
@@ -176,13 +205,14 @@ type report struct {
 		M int `json:"m"`
 		Z int `json:"z"`
 	} `json:"graph"`
-	Benchmarks   []result         `json:"benchmarks"`
-	Sketch       *sketchReport    `json:"sketch,omitempty"`
-	Multiplex    *multiplexReport `json:"multiplex,omitempty"`
-	ThetaAscend  *thetaAscend     `json:"theta_ascend,omitempty"`
-	Saturation   *saturation      `json:"saturation,omitempty"`
-	ServeLatency *serveLatency    `json:"serve_latency,omitempty"`
-	ObsOverhead  *obsOverhead     `json:"obs_overhead,omitempty"`
+	Benchmarks    []result         `json:"benchmarks"`
+	Sketch        *sketchReport    `json:"sketch,omitempty"`
+	SolveParallel *parallelReport  `json:"solve_parallel,omitempty"`
+	Multiplex     *multiplexReport `json:"multiplex,omitempty"`
+	ThetaAscend   *thetaAscend     `json:"theta_ascend,omitempty"`
+	Saturation    *saturation      `json:"saturation,omitempty"`
+	ServeLatency  *serveLatency    `json:"serve_latency,omitempty"`
+	ObsOverhead   *obsOverhead     `json:"obs_overhead,omitempty"`
 }
 
 func main() {
@@ -245,7 +275,17 @@ func main() {
 	}
 	rep.Graph.N, rep.Graph.M, rep.Graph.Z = g.N(), g.M(), g.Z()
 	if rep.DegenerateParallelism {
-		log.Printf("WARNING: GOMAXPROCS=1 — degenerate parallelism; absolute numbers are not comparable to multi-core runs and noise is elevated")
+		log.Print("********************************************************************")
+		log.Print("* WARNING: degenerate_parallelism — GOMAXPROCS=1.                  *")
+		log.Print("* Every parallel section (index shards, evaluator pools, the       *")
+		log.Print("* solve_parallel sweep, the saturation burst) ran SERIALIZED.      *")
+		log.Print("* Absolute numbers are NOT comparable to multi-core runs, noise    *")
+		log.Print("* is elevated, and parallel speedups are meaningless. Re-run with  *")
+		log.Print("* GOMAXPROCS>1 before reading any wall-clock comparison.           *")
+		log.Print("********************************************************************")
+	}
+	if ncpu := runtime.NumCPU(); ncpu < rep.GOMAXPROCS {
+		log.Printf("WARNING: oversubscribed — GOMAXPROCS=%d exceeds the machine's %d CPUs; parallel wall-clock rows measure scheduler time-slicing, not speedup", rep.GOMAXPROCS, ncpu)
 	}
 
 	run := func(name string, fn func(b *testing.B)) {
@@ -432,6 +472,8 @@ func main() {
 		}
 	})
 
+	rep.SolveParallel = solveParallel(g, pool, campaign, *theta, *k)
+
 	rep.Multiplex = multiplexSection(run, g, pool, prob.Model, campaign, inst, *scale, *theta, *k)
 
 	rep.Saturation = saturate(g, pool, prob.Model, campaign, *theta, *k)
@@ -503,6 +545,105 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// solveParallel sweeps the parallel branch-and-bound search across
+// worker counts. The workload is fixed across the sweep — one prepared
+// instance under a steep adoption model (α=6: the report's default α=2
+// tangent bound certifies this dataset at the root, expanding zero
+// nodes), a node cap so every point expands the identical tree, and one
+// shared evaluator pool so the sweep also exercises the pool's
+// multi-checkout path. Each point reports the best of several runs and
+// verifies bit-identity against the sequential answer.
+func solveParallel(g *graph.Graph, pool []int32, campaign topic.Campaign, theta, k int) *parallelReport {
+	const (
+		maxNodes = 48
+		perPoint = 3
+		steepA   = 6.0
+		steepB   = 2.0
+	)
+	prob := &core.Problem{
+		G:        g,
+		Campaign: campaign,
+		Pool:     pool,
+		K:        k,
+		Model:    logistic.Model{Alpha: steepA, Beta: steepB},
+	}
+	inst, err := core.Prepare(prob, theta, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evals := core.NewEvaluatorPool(inst)
+	opts := core.BABOptions{Tolerance: 0, RawGap: true, MaxNodes: maxNodes}
+
+	rep := &parallelReport{
+		Theta:          theta,
+		K:              k,
+		SolvesPerPoint: perPoint,
+		NumCPU:         runtime.NumCPU(),
+		Oversubscribed: runtime.NumCPU() < runtime.GOMAXPROCS(0),
+	}
+	var base *core.Result
+	var baseMS float64
+	for _, w := range []int{1, 2, 4, 8} {
+		popts := opts
+		popts.Workers = w
+		var best float64
+		var res *core.Result
+		for r := 0; r < perPoint; r++ {
+			start := time.Now()
+			rr, err := evals.SolveBAB(inst, popts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ms := float64(time.Since(start)) / float64(time.Millisecond); res == nil || ms < best {
+				best, res = ms, rr
+			}
+		}
+		row := parallelRow{
+			Workers:    w,
+			WallMS:     best,
+			Steals:     res.Stats.Steals,
+			SpecWasted: res.Stats.SpecWasted,
+		}
+		if base == nil {
+			base, baseMS = res, best
+			rep.Nodes = int64(res.Stats.Nodes)
+			row.ParityOK, row.Speedup = true, 1
+		} else {
+			row.ParityOK = res.Utility == base.Utility && res.Upper == base.Upper && planEqual(res.Plan.Seeds, base.Plan.Seeds)
+			if best > 0 {
+				row.Speedup = baseMS / best
+			}
+		}
+		if !row.ParityOK {
+			log.Fatalf("solve_parallel: workers=%d diverged from the sequential answer", w)
+		}
+		rep.Rows = append(rep.Rows, row)
+		log.Printf("solve_parallel: workers=%d wall %8.1f ms  speedup %5.2fx  steals=%d spec_wasted=%d parity=%v",
+			w, row.WallMS, row.Speedup, row.Steals, row.SpecWasted, row.ParityOK)
+	}
+	if rep.Oversubscribed || runtime.GOMAXPROCS(0) == 1 {
+		log.Printf("solve_parallel: NOTE — %d CPUs for GOMAXPROCS=%d: speedups above reflect scheduling, not hardware parallelism", rep.NumCPU, runtime.GOMAXPROCS(0))
+	}
+	return rep
+}
+
+func planEqual(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if len(a[j]) != len(b[j]) {
+			return false
+		}
+		for i := range a[j] {
+			if a[j][i] != b[j][i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // multiplexSection stacks a second independently generated lastfm layer

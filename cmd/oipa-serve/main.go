@@ -53,6 +53,7 @@ func main() {
 		memEpoch  = flag.Int("mem-epoch", 64, "memory-governor recency window, in registry requests")
 		memTick   = flag.Duration("mem-tick", 30*time.Second, "background memory-governor tick interval (negative = request-driven reclaim only)")
 		workers   = flag.Int("workers", 0, "async solve workers (0 = GOMAXPROCS)")
+		solveWrk  = flag.Int("solve-workers", 1, "default intra-solve search workers for bab/babp (results are bit-identical at any count; requests may override with solve_workers, capped by the admission weight)")
 		queue     = flag.Int("queue", 64, "async job backlog bound")
 		reqTmo    = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per synchronous request; client timeout_ms is capped by it")
 		admitCap  = flag.Int("admit-capacity", 0, "admission semaphore capacity in weight units (solve/simulate=2, estimate=1; 0 = 2x GOMAXPROCS)")
@@ -125,6 +126,7 @@ func main() {
 		MemEpoch:         *memEpoch,
 		MemTick:          *memTick,
 		Workers:          *workers,
+		SolveWorkers:     *solveWrk,
 		QueueDepth:       *queue,
 		RequestTimeout:   *reqTmo,
 		AdmitCapacity:    *admitCap,

@@ -58,6 +58,23 @@ type BABOptions struct {
 	// that exact incumbent. The root candidate is always evaluated
 	// exactly. Ignored when the index has no sketches attached.
 	Sketch bool
+	// Workers sets the number of search workers for branch-and-bound.
+	// 1 (or 0) keeps today's sequential loop. Above 1, node expansions —
+	// the bound computations and candidate evaluations that dominate the
+	// search — are precomputed speculatively by Workers−1 extra workers,
+	// each with its own evaluator, while a commit loop replays the exact
+	// sequential expansion order. Results are therefore bit-identical to
+	// Workers=1 for every worker count, at any Tolerance: the same plan,
+	// utility, upper bound, and U <= L·(1+Tolerance) certificate.
+	// Pruning races the latest exact incumbent (published atomically,
+	// only after exact re-verification), so speculation work is sound;
+	// its only cost is wasted expansions, reported in SolverStats.
+	Workers int
+	// TraceWorker, when non-nil, is invoked once per extra search worker
+	// (ids 1..Workers−1) as the worker starts; the returned func is
+	// called when the worker exits. The serve tier uses it to attach
+	// per-worker child spans to the solve.parallel trace span.
+	TraceWorker func(worker int) func()
 	// RawGap measures the termination gap on the raw Eq. (6) scale, in
 	// which every user — covered or not — contributes at least
 	// Sigmoid(−α). The paper's L and U both carry that additive
@@ -115,19 +132,31 @@ func (h *babHeap) Pop() interface{} {
 	return item
 }
 
+// evalCheckout checks out one additional evaluator for a parallel search
+// worker. The returned release func must be called when the worker is
+// done with it. Pooled solves hand the pool's acquire/release pair here
+// (the EvaluatorPool multi-checkout path); unpooled solves allocate.
+type evalCheckout func() (*evaluator, func(), error)
+
+func directCheckout(inst *Instance) evalCheckout {
+	return func() (*evaluator, func(), error) {
+		return newEvaluator(inst), func() {}, nil
+	}
+}
+
 // SolveBAB runs the plain branch-and-bound framework: Algorithm 1 with
 // Algorithm 2 as the bound estimator. It returns a plan whose
 // MRR-estimated utility is within (1−1/e)/(1+Tolerance) of the
 // MRR-estimated optimum (Theorem 2).
 func SolveBAB(inst *Instance, opts BABOptions) (*Result, error) {
-	return solveBABWith(inst, newEvaluator(inst), opts)
+	return solveBABWith(inst, newEvaluator(inst), directCheckout(inst), opts)
 }
 
 // solveBABWith applies the BAB entry-point normalization once for both
 // the plain and the pooled path.
-func solveBABWith(inst *Instance, ev *evaluator, opts BABOptions) (*Result, error) {
+func solveBABWith(inst *Instance, ev *evaluator, co evalCheckout, opts BABOptions) (*Result, error) {
 	opts.Progressive = false
-	return solveBranchAndBound(inst, ev, opts, "BAB")
+	return solveBranchAndBound(inst, ev, co, opts, "BAB")
 }
 
 // SolveBABP runs branch-and-bound with the progressive upper-bound
@@ -137,7 +166,7 @@ func SolveBABP(inst *Instance, opts BABOptions) (*Result, error) {
 	if err := validateBABP(opts); err != nil {
 		return nil, err
 	}
-	return solveBABPWith(inst, newEvaluator(inst), opts)
+	return solveBABPWith(inst, newEvaluator(inst), directCheckout(inst), opts)
 }
 
 func validateBABP(opts BABOptions) error {
@@ -147,9 +176,9 @@ func validateBABP(opts BABOptions) error {
 	return nil
 }
 
-func solveBABPWith(inst *Instance, ev *evaluator, opts BABOptions) (*Result, error) {
+func solveBABPWith(inst *Instance, ev *evaluator, co evalCheckout, opts BABOptions) (*Result, error) {
 	opts.Progressive = true
-	return solveBranchAndBound(inst, ev, opts, "BAB-P")
+	return solveBranchAndBound(inst, ev, co, opts, "BAB-P")
 }
 
 // SolveGreedy runs a single bound computation from the empty plan and
@@ -202,9 +231,12 @@ func solveGreedy(inst *Instance, ev *evaluator, opts BABOptions) (*Result, error
 	}, nil
 }
 
-func solveBranchAndBound(inst *Instance, ev *evaluator, opts BABOptions, name string) (*Result, error) {
+func solveBranchAndBound(inst *Instance, ev *evaluator, co evalCheckout, opts BABOptions, name string) (*Result, error) {
 	if opts.Tolerance < 0 {
 		return nil, fmt.Errorf("core: negative tolerance %v", opts.Tolerance)
+	}
+	if opts.Workers > 1 {
+		return solveBranchAndBoundParallel(inst, ev, co, opts, name)
 	}
 	start := time.Now()
 	k := inst.Problem.K

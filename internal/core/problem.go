@@ -612,11 +612,15 @@ func (in *Instance) EstimateAU(plan Plan) (float64, error) {
 // response, so keep every field cheap to maintain (plain increments on
 // the search path).
 type SolverStats struct {
-	Nodes         int   // branch-and-bound nodes expanded
-	BoundEvals    int   // ComputeBound / ComputeBoundPro invocations
-	TauEvals      int64 // candidate marginal-gain (τ) evaluations
-	SketchEvals   int64 // incumbent-candidate evaluations served by the sketch
-	ReVerifyEvals int64 // sketch incumbents re-verified with the exact scan before adoption
+	Nodes          int   // branch-and-bound nodes expanded
+	BoundEvals     int   // ComputeBound / ComputeBoundPro invocations
+	TauEvals       int64 // candidate marginal-gain (τ) evaluations
+	SketchEvals    int64 // incumbent-candidate evaluations served by the sketch
+	ReVerifyEvals  int64 // sketch incumbents re-verified with the exact scan before adoption
+	Workers        int   // search workers used (0 or 1 = sequential path)
+	Steals         int64 // speculative expansions a worker took from another worker's frontier shard
+	SpecExpansions int64 // node expansions executed speculatively by the extra workers
+	SpecWasted     int64 // speculative expansions the commit loop pruned before consuming
 }
 
 // Result is a solver outcome.

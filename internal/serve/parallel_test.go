@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"oipa/internal/faultpoint"
+)
+
+// steepSolve builds a solve request under a steep adoption model
+// (alpha=6, beta=2): the server's default alpha=2 tangent bound is tight
+// enough to certify the test graph at the root, and a search that never
+// expands a node exercises none of the parallel machinery.
+func steepSolve(workers int) SolveRequest {
+	return SolveRequest{
+		Campaign:     testCampaign(1, 2),
+		Method:       "bab",
+		K:            3,
+		Theta:        600,
+		Alpha:        6,
+		Beta:         2,
+		SolveWorkers: workers,
+	}
+}
+
+// TestSolveParallelWorkersEcho pins the HTTP contract of a wide solve:
+// the worker count is echoed back, the parallel_solves counter moves,
+// and the answer is bit-identical to the sequential solve of the same
+// request.
+func TestSolveParallelWorkersEcho(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.AdmitCapacity = 8 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var seq SolveResponse
+	if code, raw := postJSON(t, ts, "/v1/solve", steepSolve(1), &seq); code != http.StatusOK {
+		t.Fatalf("sequential solve status %d: %s", code, raw)
+	}
+	if seq.SolveWorkers != 1 {
+		t.Fatalf("sequential response echoes %d workers", seq.SolveWorkers)
+	}
+	if seq.Stats.Nodes == 0 {
+		t.Fatal("steep-model solve must expand nodes to exercise the parallel search")
+	}
+
+	var par SolveResponse
+	if code, raw := postJSON(t, ts, "/v1/solve", steepSolve(2), &par); code != http.StatusOK {
+		t.Fatalf("parallel solve status %d: %s", code, raw)
+	}
+	if par.SolveWorkers != 2 {
+		t.Fatalf("parallel response echoes %d workers, want 2", par.SolveWorkers)
+	}
+	if par.Stats.Workers != 2 {
+		t.Fatalf("solver stats report %d workers, want 2", par.Stats.Workers)
+	}
+	if par.Utility != seq.Utility || par.Upper != seq.Upper {
+		t.Fatalf("parallel solve diverged: utility %v/%v, upper %v/%v",
+			par.Utility, seq.Utility, par.Upper, seq.Upper)
+	}
+	if fmt.Sprint(par.Plan) != fmt.Sprint(seq.Plan) {
+		t.Fatalf("parallel plan %v != sequential %v", par.Plan, seq.Plan)
+	}
+
+	snap := s.Metrics()
+	if snap.Solves.Parallel != 1 {
+		t.Fatalf("parallel_solves = %d, want 1", snap.Solves.Parallel)
+	}
+	if snap.Solves.Total != 2 {
+		t.Fatalf("solves total = %d, want 2", snap.Solves.Total)
+	}
+}
+
+// TestSolveWorkersClamp pins the admission coupling: the worker count is
+// capped at what the semaphore can express, methods without a search
+// loop always run sequentially, and a negative count is a client error.
+func TestSolveWorkersClamp(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.AdmitCapacity = 4 }) // maxW = 4/weightSolve = 2
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp SolveResponse
+	req := steepSolve(64)
+	if code, raw := postJSON(t, ts, "/v1/solve", req, &resp); code != http.StatusOK {
+		t.Fatalf("clamped solve status %d: %s", code, raw)
+	}
+	if resp.SolveWorkers != 2 {
+		t.Fatalf("solve_workers=64 clamped to %d, want 2", resp.SolveWorkers)
+	}
+
+	greedy := steepSolve(2)
+	greedy.Method = "greedy"
+	if code, raw := postJSON(t, ts, "/v1/solve", greedy, &resp); code != http.StatusOK {
+		t.Fatalf("greedy solve status %d: %s", code, raw)
+	}
+	if resp.SolveWorkers != 1 {
+		t.Fatalf("greedy solve ran with %d workers, want 1", resp.SolveWorkers)
+	}
+
+	bad := steepSolve(-1)
+	if code, _ := postJSON(t, ts, "/v1/solve", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative solve_workers status %d, want 400", code)
+	}
+}
+
+// TestSolveCoalescing holds a leader in flight with a delay faultpoint
+// and fires identical requests at it: every follower must ride the
+// leader's solve (coalesced_solves moves, the Coalesced flag is set, the
+// payload matches) and exactly one solver execution happens.
+func TestSolveCoalescing(t *testing.T) {
+	defer faultpoint.Reset()
+	s := testServer(t, func(c *Config) { c.AdmitCapacity = 32 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The faultpoint fires inside Server.solve, after the leader has
+	// registered its flight — every request admitted during the sleep
+	// finds the flight and waits on it instead of solving.
+	if err := faultpoint.Arm("serve.solve.pre", "delay:400ms"); err != nil {
+		t.Fatal(err)
+	}
+	const concurrent = 6
+	var (
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+		results [concurrent]SolveResponse
+		codes   [concurrent]int
+	)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			codes[i], _ = postJSON(t, ts, "/v1/solve", steepSolve(1), &results[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	faultpoint.Reset()
+
+	followers := 0
+	for i := range results {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if results[i].Utility != results[0].Utility {
+			t.Fatalf("request %d: utility %v != %v", i, results[i].Utility, results[0].Utility)
+		}
+		if results[i].Coalesced {
+			followers++
+		}
+	}
+	snap := s.Metrics()
+	if snap.Solves.Coalesced == 0 {
+		t.Fatal("no request coalesced onto the in-flight solve")
+	}
+	if int64(followers) != snap.Solves.Coalesced {
+		t.Fatalf("%d responses flagged coalesced, metric says %d", followers, snap.Solves.Coalesced)
+	}
+	if got := snap.Solves.Total + snap.Solves.Coalesced; got != concurrent {
+		t.Fatalf("solves (%d) + coalesced (%d) = %d, want %d",
+			snap.Solves.Total, snap.Solves.Coalesced, got, concurrent)
+	}
+
+	// Distinct solve parameters must NOT coalesce: the key covers the
+	// full normalized request, so a different worker count is a
+	// different flight even against the same artifact.
+	before := s.Metrics().Solves.Coalesced
+	var wide SolveResponse
+	if code, raw := postJSON(t, ts, "/v1/solve", steepSolve(2), &wide); code != http.StatusOK {
+		t.Fatalf("wide solve status %d: %s", code, raw)
+	}
+	if wide.Coalesced || s.Metrics().Solves.Coalesced != before {
+		t.Fatal("solve with different workers coalesced onto a stale flight")
+	}
+	if wide.Utility != results[0].Utility {
+		t.Fatalf("wide solve utility %v != %v", wide.Utility, results[0].Utility)
+	}
+}
+
+// TestParallelSolveRegistryChurn is the lifecycle stress: wide solves
+// hammer a single campaign while varying theta forces ExtendTo growth
+// steps, a one-byte memory budget keeps the governor shrinking the same
+// entry, and SketchK re-attaches sketches on every republish. Run under
+// -race this pins that parallel search workers only ever read published
+// immutable snapshots. The final check is the determinism contract
+// surviving all of it.
+func TestParallelSolveRegistryChurn(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.AdmitCapacity = 32
+		c.SketchK = 32
+		c.MemBudget = 1 // everything is over budget: shrink after every release
+		c.MemEpoch = 2
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	thetas := []int{300, 700, 450, 900}
+	const goroutines, iters = 4, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req := steepSolve(2)
+				req.Theta = thetas[(g+i)%len(thetas)]
+				if code, raw := postJSON(t, ts, "/v1/solve", req, nil); code != http.StatusOK {
+					t.Errorf("goroutine %d iter %d: status %d: %s", g, i, code, raw)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var seq, par SolveResponse
+	if code, raw := postJSON(t, ts, "/v1/solve", steepSolve(1), &seq); code != http.StatusOK {
+		t.Fatalf("post-churn sequential solve status %d: %s", code, raw)
+	}
+	if code, raw := postJSON(t, ts, "/v1/solve", steepSolve(2), &par); code != http.StatusOK {
+		t.Fatalf("post-churn parallel solve status %d: %s", code, raw)
+	}
+	if par.Utility != seq.Utility || fmt.Sprint(par.Plan) != fmt.Sprint(seq.Plan) {
+		t.Fatalf("post-churn divergence: parallel %v %v, sequential %v %v",
+			par.Utility, par.Plan, seq.Utility, seq.Plan)
+	}
+	if snap := s.Metrics(); snap.Registry.Shrinks == 0 && snap.Registry.Extends == 0 {
+		t.Fatalf("churn produced no artifact transitions: %+v", snap.Registry)
+	}
+}

@@ -77,6 +77,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -166,6 +167,14 @@ type Config struct {
 	// expires while queued — are shed with 429 + Retry-After.
 	AdmitQueue int
 
+	// SolveWorkers is the default intra-solve search parallelism for
+	// bab/babp requests that do not set solve_workers themselves
+	// (default 1: the sequential search). Parallel solves return
+	// bit-identical results to sequential ones; the effective count is
+	// capped at AdmitCapacity divided by the solve admission weight, and
+	// a wide solve admits as a proportionally heavier request.
+	SolveWorkers int
+
 	// Logger receives one structured record per instrumented request:
 	// request id, endpoint, campaign, θ, method, status, duration — and
 	// the span tree when the request was traced. nil disables request
@@ -233,6 +242,9 @@ func (c *Config) fillDefaults() {
 	if c.AdmitQueue < 0 {
 		c.AdmitQueue = 0
 	}
+	if c.SolveWorkers <= 0 {
+		c.SolveWorkers = 1
+	}
 }
 
 // Server is the oipa-serve HTTP service. Create with New, mount
@@ -248,6 +260,9 @@ type Server struct {
 
 	admit    *admission // weighted overload valve for the heavy endpoints
 	inflight drainGroup // admitted-request tracking for graceful drain
+
+	flightMu sync.Mutex              // guards flights
+	flights  map[string]*solveFlight // identical in-flight solves, keyed by solveKey
 
 	logger     *slog.Logger
 	traceEvery int64        // trace every Nth request (0 = sampling off)
@@ -299,6 +314,7 @@ func New(cfg Config) (*Server, error) {
 	s.jobs = newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.JobHistory, &s.m)
 	s.jobs.run = s.runJob
 	s.admit = newAdmission(int64(cfg.AdmitCapacity), cfg.AdmitQueue)
+	s.flights = make(map[string]*solveFlight)
 	s.routes()
 	return s, nil
 }
@@ -520,9 +536,16 @@ type SolveRequest struct {
 	Epsilon   float64 `json:"epsilon"`   // BAB-P decay (default 0.5)
 	Tolerance float64 `json:"tolerance"` // termination gap (default 0.01)
 	MaxNodes  int     `json:"max_nodes"` // 0 = unbounded
-	Alpha     float64 `json:"alpha"`     // adoption model override (0 = server default)
-	Beta      float64 `json:"beta"`
-	Async     bool    `json:"async"` // enqueue instead of solving inline
+	// SolveWorkers sets intra-solve search parallelism for bab and babp
+	// (0 = the server's default). The result is bit-identical to a
+	// sequential solve at any worker count; what changes is wall-clock
+	// and admission weight (a wide solve admits as a heavier request).
+	// Counts beyond the admission cap are clamped, and methods without a
+	// search loop (greedy, im, tim) always run sequentially.
+	SolveWorkers int     `json:"solve_workers"`
+	Alpha        float64 `json:"alpha"` // adoption model override (0 = server default)
+	Beta         float64 `json:"beta"`
+	Async        bool    `json:"async"` // enqueue instead of solving inline
 	// TimeoutMS is the client's execution deadline in milliseconds,
 	// capped by the server's RequestTimeout (which also applies when the
 	// field is omitted). An expiring solve returns its incumbent marked
@@ -566,6 +589,13 @@ type SolveResponse struct {
 	// fully evaluated) and Upper a true residual bound — the answer is
 	// coarser, not wrong.
 	Degraded bool `json:"degraded,omitempty"`
+	// SolveWorkers echoes the effective search worker count the solve
+	// ran with, after defaulting and the admission-capacity clamp.
+	SolveWorkers int `json:"solve_workers,omitempty"`
+	// Coalesced: this response was served from an identical in-flight
+	// solve (same campaign, seed, layers, θ, method, and options) rather
+	// than a search of its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// EstimateMode reports how interior branch-and-bound candidate
 	// evaluations ran: "sketch" when the bottom-k sketch steered the
 	// search (Stats.SketchEvals counts them; the published Utility is
@@ -730,6 +760,16 @@ func (s *Server) acquireSlot(ctx context.Context, weight int64) (func(), error) 
 	}, nil
 }
 
+// solveWeight is a solve's admission weight scaled by its worker
+// fan-out, so a Workers=N solve occupies N sequential solves' worth of
+// the semaphore while it runs.
+func solveWeight(workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return weightSolve * int64(workers)
+}
+
 // failRequest maps a heavy-path failure onto the transport: shed work →
 // 429 + Retry-After (nothing ran; an immediate retry elsewhere is
 // safe), a deadline that expired mid-work → 503 + Retry-After (both
@@ -784,13 +824,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	release, err := s.acquireSlot(ctx, weightSolve)
+	release, err := s.acquireSlot(ctx, solveWeight(req.SolveWorkers))
 	if err != nil {
 		s.failRequest(w, err)
 		return
 	}
 	defer release()
-	resp, err := s.solve(ctx, req, ctx.Done())
+	resp, err := s.solveCoalesced(ctx, req, ctx.Done())
 	if err != nil {
 		s.failRequest(w, err)
 		return
@@ -1028,6 +1068,28 @@ func (s *Server) normalizeSolve(req *SolveRequest) error {
 	if req.Tolerance == 0 {
 		req.Tolerance = 0.01
 	}
+	if req.SolveWorkers < 0 {
+		return fmt.Errorf("serve: negative solve_workers %d", req.SolveWorkers)
+	}
+	if req.SolveWorkers == 0 {
+		req.SolveWorkers = s.cfg.SolveWorkers
+	}
+	switch req.Method {
+	case "bab", "babp":
+		// Cap the fan-out at what the admission semaphore can express:
+		// the request admits at weight solveWeight(workers), and a
+		// request heavier than the whole semaphore could never run.
+		if maxW := s.cfg.AdmitCapacity / weightSolve; req.SolveWorkers > maxW {
+			if maxW < 1 {
+				maxW = 1
+			}
+			req.SolveWorkers = maxW
+		}
+	default:
+		// Greedy is a single bound computation and im/tim have no
+		// branch-and-bound loop: nothing to parallelize.
+		req.SolveWorkers = 1
+	}
 	req.Layers = canonLayers(req.Layers)
 	// Validate the layer set now — async submissions should be refused at
 	// the door, not fail later on a worker.
@@ -1130,7 +1192,23 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 	s.m.inflightSolves.Add(1)
 	defer s.m.inflightSolves.Add(-1)
 	s.m.solvesTotal.Add(1)
-	_, solveSpan := obs.StartSpan(ctx, "solve."+req.Method)
+	solveCtx := ctx
+	if req.SolveWorkers > 1 {
+		// solve.parallel brackets the parallel dispatch; every extra
+		// search worker hangs its own child span under it (obs traces
+		// are concurrency-safe), so a traced wide solve shows the
+		// fan-out next to the method span.
+		var psp *obs.Span
+		solveCtx, psp = obs.StartSpan(ctx, "solve.parallel")
+		defer psp.End()
+		opts.Workers = req.SolveWorkers
+		opts.TraceWorker = func(worker int) func() {
+			_, sp := obs.StartSpan(solveCtx, fmt.Sprintf("worker.%d", worker))
+			return sp.End
+		}
+		s.m.parallelSolves.Add(1)
+	}
+	_, solveSpan := obs.StartSpan(solveCtx, "solve."+req.Method)
 	var res *core.Result
 	switch req.Method {
 	case "bab":
@@ -1202,7 +1280,83 @@ func (s *Server) solve(ctx context.Context, req SolveRequest, stop <-chan struct
 		PreparedTheta: art.Theta(),
 		Degraded:      degraded,
 		EstimateMode:  estMode,
+		SolveWorkers:  req.SolveWorkers,
 	}, nil
+}
+
+// solveFlight is one in-flight solve other identical requests can ride.
+type solveFlight struct {
+	done chan struct{}
+	resp *SolveResponse // immutable once done is closed
+	err  error
+}
+
+// solveKey renders every request field that can influence a solve's
+// outcome — the artifact identity (campaign, seed, layer set) plus θ and
+// the full solver configuration. The request must be normalized first so
+// spelling differences (defaulted fields, layer order) key identically.
+func solveKey(req *SolveRequest) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|k=%d|th=%d|sd=%d|eps=%016x|tol=%016x|mn=%d|a=%016x|b=%016x|w=%d|to=%d|L=%v|",
+		req.Method, req.K, req.Theta, req.Seed,
+		math.Float64bits(req.Epsilon), math.Float64bits(req.Tolerance),
+		req.MaxNodes, math.Float64bits(req.Alpha), math.Float64bits(req.Beta),
+		req.SolveWorkers, req.TimeoutMS, req.Layers)
+	sb.WriteString(campaignKey(req.Campaign))
+	return sb.String()
+}
+
+// solveCoalesced singleflights identical in-flight solves: the registry
+// already dedups preparations, but two identical solve requests arriving
+// together would still each run the full search. The first request (the
+// leader) solves; followers with the same key wait on its flight and
+// share the result (marked Coalesced, coalesced_solves counts them).
+// Followers keep holding their own admission slot while they wait —
+// coalescing saves solver work, not admission weight — and inherit the
+// leader's outcome wholesale, including a Degraded incumbent if the
+// leader's deadline expired. TimeoutMS is part of the key, so requests
+// with different deadline budgets never share a flight.
+func (s *Server) solveCoalesced(ctx context.Context, req SolveRequest, stop <-chan struct{}) (*SolveResponse, error) {
+	key := solveKey(&req)
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		select {
+		case <-f.done:
+			s.m.coalescedSolves.Add(1)
+			if f.err != nil {
+				return nil, f.err
+			}
+			cp := *f.resp
+			cp.Coalesced = true
+			return &cp, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &solveFlight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+	defer func() {
+		if f.resp == nil && f.err == nil {
+			// The solve is panicking out from under us. The leader's own
+			// recovery middleware turns it into a 500; followers must not
+			// hang, so fail their flight the same way.
+			f.err = panicError{val: "coalesced solve leader panicked"}
+		}
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+	}()
+	f.resp, f.err = s.solve(ctx, req, stop)
+	if f.err != nil {
+		return nil, f.err
+	}
+	// The leader gets a private copy too: callers decorate the response
+	// (request id, trace) while followers may still be copying f.resp.
+	cp := *f.resp
+	return &cp, nil
 }
 
 // runJob executes one queued solve on a worker goroutine. The job's
@@ -1216,7 +1370,7 @@ func (s *Server) runJob(j *job) {
 	if j.traced && !s.m.disabled {
 		ctx, tr = obs.NewTrace(ctx, j.reqID, "solve")
 	}
-	resp, err := s.solve(ctx, j.req, j.cancel)
+	resp, err := s.solveCoalesced(ctx, j.req, j.cancel)
 	if resp != nil {
 		resp.RequestID = j.reqID
 		if tr != nil {
